@@ -1,0 +1,18 @@
+"""Figure 2: server allocation vs. the good clients' fraction of bandwidth.
+
+Paper: with speak-up the measured allocation hugs the ideal line (the good
+clients' bandwidth fraction f); without speak-up the bad clients (lambda=40,
+w=20) capture far more than their share.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.allocation import figure2_allocation, format_figure2
+
+
+def test_bench_figure2_allocation(benchmark, bench_scale):
+    rows = run_once(benchmark, figure2_allocation, bench_scale)
+    print()
+    print(format_figure2(rows))
+    for row in rows:
+        assert row.allocation_with_speakup > row.allocation_without_speakup
+        assert abs(row.allocation_with_speakup - row.ideal) < 0.25

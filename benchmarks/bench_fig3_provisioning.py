@@ -1,0 +1,21 @@
+"""Figure 3: allocation and served fraction for c in {50, 100, 200}, G = B.
+
+Paper: for c = 50 and c = 100 the speak-up allocation is roughly proportional
+to the aggregate bandwidths (about half each); for c = 200 all good requests
+are served.  Without speak-up the bad clients dominate at every capacity.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.allocation import figure3_provisioning, format_figure3
+
+
+def test_bench_figure3_provisioning(benchmark, bench_scale):
+    rows = run_once(benchmark, figure3_provisioning, bench_scale)
+    print()
+    print(format_figure3(rows))
+    on = {row.capacity_rps: row for row in rows if row.speakup_on}
+    off = {row.capacity_rps: row for row in rows if not row.speakup_on}
+    for capacity in on:
+        assert on[capacity].good_allocation > off[capacity].good_allocation
+    assert on[200.0].good_fraction_served > 0.95
+    assert abs(on[100.0].good_allocation - 0.5) < 0.2

@@ -1,0 +1,24 @@
+"""Figure 4: time spent uploading dummy bytes (mean and 90th percentile).
+
+Paper: when the server is overloaded (c = 50, 100) served good requests spend
+on the order of seconds paying; when it is not (c = 200) speak-up introduces
+little extra latency.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.cost import figure4_5_costs
+from repro.metrics.tables import format_table
+
+
+def test_bench_figure4_payment_time(benchmark, bench_scale):
+    rows = run_once(benchmark, figure4_5_costs, bench_scale)
+    print()
+    print(format_table(
+        headers=["capacity", "mean_payment_s", "p90_payment_s"],
+        rows=[(f"{row.capacity_rps:.0f}", row.mean_payment_time, row.p90_payment_time)
+              for row in rows],
+        title="Figure 4: time uploading dummy bytes for served good requests",
+    ))
+    by_capacity = {row.capacity_rps: row for row in rows}
+    assert by_capacity[200.0].mean_payment_time <= by_capacity[100.0].mean_payment_time + 1e-9
+    assert by_capacity[100.0].p90_payment_time >= by_capacity[100.0].mean_payment_time

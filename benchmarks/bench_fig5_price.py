@@ -1,0 +1,28 @@
+"""Figure 5: average price (payment bytes per served request) vs. capacity.
+
+Paper: under overload (c = 50, 100) the price sits close to, but below, the
+upper bound (G + B)/c; when the server is lightly loaded (c = 200) good
+clients pay almost nothing.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.cost import figure4_5_costs
+from repro.metrics.tables import format_table
+
+
+def test_bench_figure5_price(benchmark, bench_scale):
+    rows = run_once(benchmark, figure4_5_costs, bench_scale)
+    print()
+    print(format_table(
+        headers=["capacity", "price_good_KB", "price_bad_KB", "upper_bound_KB"],
+        rows=[(f"{row.capacity_rps:.0f}",
+               row.mean_price_good_bytes / 1000.0,
+               row.mean_price_bad_bytes / 1000.0,
+               row.price_upper_bound_bytes / 1000.0) for row in rows],
+        title="Figure 5: average price per served request vs the (G+B)/c bound",
+    ))
+    by_capacity = {row.capacity_rps: row for row in rows}
+    for capacity, row in by_capacity.items():
+        assert row.mean_price_good_bytes <= row.price_upper_bound_bytes * 1.1
+    assert (by_capacity[200.0].mean_price_good_bytes
+            < 0.5 * by_capacity[100.0].mean_price_good_bytes)

@@ -1,0 +1,23 @@
+"""Figure 6: heterogeneous client bandwidths (all good clients).
+
+Paper: with five categories at 0.5·i Mbits/s and c = 10 requests/s, the
+fraction of the server captured by each category is close to the
+bandwidth-proportional ideal.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.heterogeneous import figure6_bandwidth_heterogeneity, format_categories
+
+
+def test_bench_figure6_bandwidth_heterogeneity(benchmark, bench_scale):
+    rows = run_once(benchmark, figure6_bandwidth_heterogeneity, bench_scale)
+    print()
+    print(format_categories(
+        rows, "bandwidth_Mbit",
+        "Figure 6: server allocation by bandwidth category (ideal = proportional)",
+    ))
+    # Allocation should increase with bandwidth and track the ideal loosely.
+    observed = [row.observed_allocation for row in rows]
+    assert observed[-1] > observed[0]
+    for row in rows:
+        assert abs(row.observed_allocation - row.ideal_allocation) < 0.15

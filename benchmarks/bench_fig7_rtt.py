@@ -1,0 +1,33 @@
+"""Figure 7: heterogeneous client RTTs, all-good vs all-bad populations.
+
+Paper: good clients with longer RTTs (100·i ms) capture less of the server
+(slow start plus the inter-POST quiescence cost them); bad clients' RTTs
+matter little because their many concurrent connections hide the gaps.  No
+good client falls below half or rises above double the ideal.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.heterogeneous import figure7_rtt_heterogeneity, format_categories
+
+
+def _both_series(scale):
+    return {
+        "good": figure7_rtt_heterogeneity(scale, client_class="good"),
+        "bad": figure7_rtt_heterogeneity(scale, client_class="bad"),
+    }
+
+
+def test_bench_figure7_rtt_heterogeneity(benchmark, bench_scale):
+    series = run_once(benchmark, _both_series, bench_scale)
+    print()
+    for client_class, rows in series.items():
+        print(format_categories(
+            rows, "rtt_ms",
+            f"Figure 7: allocation by RTT category (all {client_class} clients)",
+        ))
+        print()
+    good = series["good"]
+    for rows in series.values():
+        assert abs(sum(r.observed_allocation for r in rows) - 1.0) < 0.05
+    # Short-RTT good clients capture at least as much as the longest-RTT ones.
+    assert good[0].observed_allocation >= good[-1].observed_allocation - 0.02

@@ -1,0 +1,21 @@
+"""Figure 8: good and bad clients sharing a bottleneck link.
+
+Paper: the clients behind the 40 Mbits/s cable collectively capture about
+half the server, but within that share the bad clients beat the
+bandwidth-proportional split (their concurrent connections hog the cable),
+and the served fraction of the bottlenecked good clients' requests suffers.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.bottleneck import figure8_shared_bottleneck, format_bottleneck
+
+
+def test_bench_figure8_shared_bottleneck(benchmark, bench_scale):
+    rows = run_once(benchmark, figure8_shared_bottleneck, bench_scale)
+    print()
+    print(format_bottleneck(rows))
+    for row in rows:
+        # The clients behind the cable cannot grossly exceed the cable's share.
+        assert 0.2 < row.bottleneck_share_of_server < 0.8
+        # Good clients behind the cable do no better than the proportional split.
+        assert row.good_share_of_bottleneck_service <= row.ideal_good_share_of_bottleneck_service + 0.05

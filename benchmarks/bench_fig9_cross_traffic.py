@@ -1,0 +1,21 @@
+"""Figure 9: speak-up's impact on a bystander's HTTP downloads.
+
+Paper: sharing a 1 Mbit/s, 100 ms bottleneck with ten paying speak-up
+clients inflates download latency by roughly 6x for a 1 KByte transfer and
+roughly 4.5x for a 64 KByte transfer.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.cross_traffic import figure9_cross_traffic, format_cross_traffic
+
+PAPER_INFLATION = {1: 6.0, 64: 4.5}
+
+
+def test_bench_figure9_cross_traffic(benchmark, bench_scale):
+    rows = run_once(benchmark, figure9_cross_traffic, bench_scale)
+    print()
+    print(format_cross_traffic(rows))
+    print(f"paper inflation reference: {PAPER_INFLATION}")
+    for row in rows:
+        assert row.latency_with_speakup > row.latency_without_speakup
+        assert row.inflation > 1.5

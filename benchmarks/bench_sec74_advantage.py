@@ -1,0 +1,38 @@
+"""§7.4: the empirical adversarial advantage and the bad-window sweep.
+
+Paper: all good demand is served at c = 115 against the proportional ideal
+c_id = 100 — a 15% advantage for the modelled adversary; and w = 20 is the
+most damaging window among w in [1, 60].
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.adversary import (
+    empirical_adversarial_advantage,
+    format_window_sweep,
+    window_sweep,
+)
+from repro.metrics.tables import format_table
+
+PAPER_ADVANTAGE = 0.15
+
+
+def test_bench_adversarial_advantage(benchmark, bench_scale):
+    outcome = run_once(benchmark, empirical_adversarial_advantage, bench_scale)
+    print()
+    print(format_table(
+        headers=["metric", "measured", "paper"],
+        rows=[
+            ("capacity needed / c_id", 1.0 + outcome.advantage, 1.0 + PAPER_ADVANTAGE),
+            ("adversarial advantage", outcome.advantage, PAPER_ADVANTAGE),
+            ("served fraction at c_id", outcome.served_fraction_at_ideal, None),
+        ],
+        title="Section 7.4: provisioning needed beyond the bandwidth-proportional ideal",
+    ))
+    assert 0.0 <= outcome.advantage <= 0.5
+
+
+def test_bench_window_sweep(benchmark, bench_scale):
+    rows = run_once(benchmark, window_sweep, bench_scale, windows=(1, 10, 20, 40))
+    print()
+    print(format_window_sweep(rows))
+    assert all(0.0 <= row.bad_allocation <= 1.0 for row in rows)

@@ -1,0 +1,51 @@
+"""Table 1: the paper's summary of main evaluation results.
+
+The four rows of Table 1 are qualitative statements backed by the individual
+figures; this benchmark re-derives each at a small scale and prints a
+one-line verdict per row, giving a cheap end-to-end smoke test of the whole
+reproduction.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.adversary import empirical_adversarial_advantage
+from repro.experiments.allocation import figure2_allocation
+from repro.experiments.base import ExperimentScale
+from repro.experiments.bottleneck import figure8_shared_bottleneck
+from repro.experiments.capacity import thinner_sink_capacity
+from repro.metrics.tables import format_table
+
+
+def _summarise(scale: ExperimentScale):
+    allocation_rows = figure2_allocation(scale, fractions=(0.5,))
+    advantage = empirical_adversarial_advantage(scale, served_threshold=0.95, tolerance=0.1)
+    sink = thinner_sink_capacity(duration_seconds=0.2)
+    bottleneck = figure8_shared_bottleneck(scale, splits=((15, 15),))[0]
+    return allocation_rows[0], advantage, sink, bottleneck
+
+
+def test_bench_table1_summary(benchmark, bench_scale):
+    allocation, advantage, sink, bottleneck = run_once(benchmark, _summarise, bench_scale)
+    rows = [
+        (
+            "allocation roughly proportional to bandwidth (Fig 2)",
+            f"good share {allocation.allocation_with_speakup:.2f} vs ideal {allocation.ideal:.2f}",
+        ),
+        (
+            "provisioning needed beyond the ideal (paper: +15%)",
+            f"+{advantage.advantage * 100:.0f}%",
+        ),
+        (
+            "thinner payment sink rate (paper: 1.5 Gbit/s in C++)",
+            f"{sink[0].mbits_per_second:.0f} Mbit/s (Python accounting path, 1500-B chunks)",
+        ),
+        (
+            "bottlenecked good clients crowded out (Fig 8)",
+            f"good share of bottleneck service {bottleneck.good_share_of_bottleneck_service:.2f} "
+            f"vs ideal {bottleneck.ideal_good_share_of_bottleneck_service:.2f}",
+        ),
+    ]
+    print()
+    print(format_table(headers=["Table 1 row", "measured"], rows=rows,
+                       title="Table 1: summary of main evaluation results"))
+    assert abs(allocation.allocation_with_speakup - allocation.ideal) < 0.25
+    assert 0.0 <= advantage.advantage <= 0.5

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+configurable scale and prints the resulting rows/series, so the output can
+be compared side by side with the paper (see EXPERIMENTS.md).
+
+Scale control (environment variables):
+
+* ``REPRO_BENCH_DURATION``      — simulated seconds per run (default 60; paper: 600)
+* ``REPRO_BENCH_CLIENT_SCALE``  — fraction of the paper's client count (default 0.5)
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The scale every benchmark uses (overridable through the environment)."""
+    return ExperimentScale.default(seed=1)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs cannot build) can still do ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

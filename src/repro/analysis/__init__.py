@@ -1,0 +1,52 @@
+"""Closed-form analysis from the paper.
+
+* :mod:`repro.analysis.theory` — the design goal and provisioning arithmetic
+  of §3.1 (bandwidth-proportional allocation, the ideal capacity ``c_id``).
+* :mod:`repro.analysis.auction` — Theorem 3.1 and its extensions (§3.4).
+* :mod:`repro.analysis.botnet` — the botnet/clientele sizing arguments of §2.1.
+* :mod:`repro.analysis.provisioning` — thinner provisioning estimates (§4.3).
+"""
+
+from repro.analysis.theory import (
+    allocation_without_speakup,
+    good_service_rate,
+    ideal_allocation,
+    ideal_capacity,
+    required_provisioning_factor,
+    surviving_good_fraction,
+)
+from repro.analysis.auction import (
+    auction_price,
+    jittered_service_bound,
+    post_gap_efficiency,
+    theorem_3_1_bound,
+)
+from repro.analysis.botnet import (
+    attack_bandwidth,
+    clientele_needed_to_survive,
+    defended_botnet_multiplier,
+)
+from repro.analysis.provisioning import (
+    payment_traffic_estimate,
+    thinner_connection_memory,
+    thinner_cpu_headroom,
+)
+
+__all__ = [
+    "ideal_allocation",
+    "good_service_rate",
+    "ideal_capacity",
+    "required_provisioning_factor",
+    "surviving_good_fraction",
+    "allocation_without_speakup",
+    "theorem_3_1_bound",
+    "jittered_service_bound",
+    "post_gap_efficiency",
+    "auction_price",
+    "attack_bandwidth",
+    "clientele_needed_to_survive",
+    "defended_botnet_multiplier",
+    "payment_traffic_estimate",
+    "thinner_connection_memory",
+    "thinner_cpu_headroom",
+]

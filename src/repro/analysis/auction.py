@@ -1,0 +1,91 @@
+"""Analysis of the virtual auction's robustness to cheating (§3.4).
+
+Theorem 3.1: in a system with regular service intervals, any client that
+continuously delivers an ``epsilon`` fraction of the average bandwidth
+received by the thinner gets at least an ``epsilon/2`` fraction of the
+service, regardless of how the other clients time or divide their bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+def theorem_3_1_bound(bandwidth_fraction: float) -> float:
+    """Lower bound on the service fraction of a client with ``epsilon`` bandwidth.
+
+    The proof shows the client's share of total spending is at most
+    ``2/(t/k + 1)``, from which ``k/t >= epsilon/(2 - epsilon) >= epsilon/2``.
+    We return the tighter ``epsilon / (2 - epsilon)`` form (which the paper
+    rounds down to ``epsilon/2``).
+    """
+    if not 0.0 <= bandwidth_fraction <= 1.0:
+        raise AnalysisError("bandwidth fraction must be in [0, 1]")
+    if bandwidth_fraction == 0.0:
+        return 0.0
+    return bandwidth_fraction / (2.0 - bandwidth_fraction)
+
+
+def jittered_service_bound(bandwidth_fraction: float, jitter: float) -> float:
+    """Theorem 3.1 extended to service times in [(1-delta)/c, (1+delta)/c].
+
+    §3.4: "for service times that fluctuate within a bounded range ..., X
+    receives at least a (1 - 2·delta)·epsilon/2 fraction of the service."
+    """
+    if not 0.0 <= jitter < 0.5:
+        raise AnalysisError("jitter must be in [0, 0.5) for the bound to be meaningful")
+    base = theorem_3_1_bound(bandwidth_fraction)
+    return max(0.0, (1.0 - 2.0 * jitter)) * base
+
+
+def post_gap_efficiency(
+    post_bytes: float,
+    bandwidth_bps: float,
+    rtt: float,
+    quiescent_rtts: float = 2.0,
+) -> float:
+    """Fraction of its bandwidth a client actually delivers given POST gaps.
+
+    §3.4 notes that a good client is quiescent for two RTTs between POSTs
+    (and slow-starts within each POST, ignored here): a POST of ``P`` bytes
+    at ``W`` bits/s takes ``8P/W`` seconds, followed by ``quiescent_rtts·RTT``
+    of silence, so the delivered fraction is ``(8P/W) / (8P/W + gap)``.
+    The paper's observation that a big POST relative to the bandwidth-delay
+    product makes the gaps negligible falls straight out of this expression.
+    """
+    if post_bytes <= 0 or bandwidth_bps <= 0:
+        raise AnalysisError("post_bytes and bandwidth must be positive")
+    if rtt < 0 or quiescent_rtts < 0:
+        raise AnalysisError("rtt and quiescent_rtts must be non-negative")
+    transfer = 8.0 * post_bytes / bandwidth_bps
+    gap = quiescent_rtts * rtt
+    return transfer / (transfer + gap)
+
+
+def auction_price(
+    good_bandwidth_bps: float, bad_bandwidth_bps: float, capacity_rps: float
+) -> float:
+    """The average price in bytes per request: (G + B) / c (§3.3).
+
+    G and B are in bits/s here (as the experiments measure them); the result
+    is converted to bytes per request, matching Figure 5's y-axis.
+    """
+    if capacity_rps <= 0:
+        raise AnalysisError("capacity must be positive")
+    if good_bandwidth_bps < 0 or bad_bandwidth_bps < 0:
+        raise AnalysisError("bandwidths must be non-negative")
+    return (good_bandwidth_bps + bad_bandwidth_bps) / (8.0 * capacity_rps)
+
+
+def adversarial_advantage(measured_capacity: float, ideal_capacity_value: float) -> float:
+    """How much extra provisioning the empirical adversary forced (§7.4).
+
+    The paper reports that all good demand was served at ``c = 115`` against
+    ``c_id = 100`` — an advantage of 0.15.  Returns
+    ``measured/ideal - 1``.
+    """
+    if ideal_capacity_value <= 0:
+        raise AnalysisError("ideal capacity must be positive")
+    if measured_capacity <= 0:
+        raise AnalysisError("measured capacity must be positive")
+    return measured_capacity / ideal_capacity_value - 1.0

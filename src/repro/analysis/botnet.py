@@ -1,0 +1,73 @@
+"""Botnet and clientele sizing arithmetic from §2.1.
+
+The paper argues speak-up's applicability using rough numbers: the average
+bot has ~100 Kbits/s of bandwidth, botnets of 10,000 (100,000) hosts
+generate ~500 Mbits/s (~5 Gbits/s) when each bot spends half its bandwidth,
+and a site with 90% spare capacity is fully defended when its good clients
+have one ninth of the attackers' aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.constants import KBIT
+from repro.errors import AnalysisError
+
+#: The paper's working estimate of the average bot's upload bandwidth.
+AVERAGE_BOT_BANDWIDTH_BPS = 100 * KBIT
+
+#: The fraction of its bandwidth the paper assumes each bot spends attacking.
+DEFAULT_BOT_DUTY_CYCLE = 0.5
+
+
+def attack_bandwidth(
+    botnet_size: int,
+    per_bot_bandwidth_bps: float = AVERAGE_BOT_BANDWIDTH_BPS,
+    duty_cycle: float = DEFAULT_BOT_DUTY_CYCLE,
+) -> float:
+    """Aggregate attack bandwidth B of a botnet, in bits/s."""
+    if botnet_size < 0:
+        raise AnalysisError("botnet size must be non-negative")
+    if per_bot_bandwidth_bps <= 0:
+        raise AnalysisError("per-bot bandwidth must be positive")
+    if not 0.0 < duty_cycle <= 1.0:
+        raise AnalysisError("duty cycle must be in (0, 1]")
+    return botnet_size * per_bot_bandwidth_bps * duty_cycle
+
+
+def clientele_needed_to_survive(
+    botnet_size: int,
+    spare_capacity_fraction: float,
+    per_bot_bandwidth_bps: float = AVERAGE_BOT_BANDWIDTH_BPS,
+    per_client_bandwidth_bps: float = AVERAGE_BOT_BANDWIDTH_BPS,
+    bot_duty_cycle: float = DEFAULT_BOT_DUTY_CYCLE,
+) -> int:
+    """How many good clients keep themselves unharmed against a botnet.
+
+    §2.1: good clients are unharmed when ``G/(G+B) ≥ 1 - s`` where ``s`` is
+    the server's spare capacity, i.e. ``G ≥ B (1 - s)/s``.  With 90% spare
+    capacity and equal per-host bandwidth, ~1,000 good clients withstand a
+    10,000-bot attack — the paper's headline example.
+    """
+    if not 0.0 < spare_capacity_fraction < 1.0:
+        raise AnalysisError("spare capacity fraction must be in (0, 1)")
+    if per_client_bandwidth_bps <= 0:
+        raise AnalysisError("per-client bandwidth must be positive")
+    bad = attack_bandwidth(botnet_size, per_bot_bandwidth_bps, bot_duty_cycle)
+    needed_good_bandwidth = bad * (1.0 - spare_capacity_fraction) / spare_capacity_fraction
+    clients = needed_good_bandwidth / per_client_bandwidth_bps
+    return int(clients) + (0 if clients == int(clients) else 1)
+
+
+def defended_botnet_multiplier(spare_capacity_fraction: float) -> float:
+    """How much larger a botnet must be to inflict the same harm on a
+    speak-up-defended site whose good clients previously matched the attack.
+
+    Without speak-up a botnet only needs to exceed the server's spare
+    capacity in *requests*; with speak-up it must exceed the good clients'
+    aggregate *bandwidth* scaled by s/(1-s).  The ratio of those two
+    thresholds is a rough "bar-raising" factor; the paper describes it as
+    "perhaps several orders of magnitude".
+    """
+    if not 0.0 < spare_capacity_fraction < 1.0:
+        raise AnalysisError("spare capacity fraction must be in (0, 1)")
+    return spare_capacity_fraction / (1.0 - spare_capacity_fraction)

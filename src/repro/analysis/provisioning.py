@@ -1,0 +1,62 @@
+"""Thinner provisioning estimates (§4.3).
+
+The thinner must absorb the whole inflated request stream — attack traffic
+plus the good clients' payment bytes — without congesting, and must hold
+state for every concurrent client.  These helpers turn the paper's sizing
+discussion into numbers an operator (or a test) can check.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+#: §6: with modern kernels the per-connection cost is dominated by RAM; a few
+#: tens of kilobytes per open connection is the usual figure for an epoll
+#: server with modest buffers.
+PER_CONNECTION_BYTES = 32 * 1024
+
+
+def payment_traffic_estimate(
+    attack_bandwidth_bps: float, good_bandwidth_bps: float, utilisation_headroom: float = 1.0
+) -> float:
+    """Total traffic the thinner must sink during an attack, in bits/s.
+
+    Both populations spend their bandwidth when encouraged, so the thinner
+    sees roughly ``B + G`` (times any safety headroom the operator wants).
+    """
+    if attack_bandwidth_bps < 0 or good_bandwidth_bps < 0:
+        raise AnalysisError("bandwidths must be non-negative")
+    if utilisation_headroom < 1.0:
+        raise AnalysisError("headroom must be at least 1.0")
+    return (attack_bandwidth_bps + good_bandwidth_bps) * utilisation_headroom
+
+
+def thinner_connection_memory(
+    concurrent_clients: int, per_connection_bytes: float = PER_CONNECTION_BYTES
+) -> float:
+    """RAM needed for the thinner's concurrent connections, in bytes.
+
+    §6: "the limit on concurrent clients is not per-connection descriptors
+    but rather the RAM consumed by each open connection."
+    """
+    if concurrent_clients < 0:
+        raise AnalysisError("concurrent_clients must be non-negative")
+    if per_connection_bytes <= 0:
+        raise AnalysisError("per_connection_bytes must be positive")
+    return concurrent_clients * per_connection_bytes
+
+
+def thinner_cpu_headroom(
+    measured_sink_rate_bps: float, expected_attack_bps: float
+) -> float:
+    """How many times over the expected attack the thinner's CPU can sink.
+
+    The paper measures 1.5 Gbits/s of payment traffic on one commodity core
+    (§7.1) against 95th-percentile attack sizes in the low hundreds of
+    Mbits/s (§4.3), i.e. a headroom factor well above one.
+    """
+    if measured_sink_rate_bps <= 0:
+        raise AnalysisError("measured sink rate must be positive")
+    if expected_attack_bps <= 0:
+        raise AnalysisError("expected attack size must be positive")
+    return measured_sink_rate_bps / expected_attack_bps

@@ -1,0 +1,110 @@
+"""The design goal and provisioning arithmetic of §3.1.
+
+Notation follows the paper:
+
+* ``g`` — aggregate good demand in requests/s;
+* ``G`` — aggregate good bandwidth (requests/s worth of traffic the good
+  clients *could* send, or bytes/s — only ratios matter);
+* ``B`` — aggregate bad bandwidth in the same unit as ``G``;
+* ``c`` — server capacity in requests/s.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+def _check_bandwidths(good_bandwidth: float, bad_bandwidth: float) -> None:
+    if good_bandwidth < 0 or bad_bandwidth < 0:
+        raise AnalysisError("bandwidths must be non-negative")
+    if good_bandwidth + bad_bandwidth == 0:
+        raise AnalysisError("at least one of G and B must be positive")
+
+
+def ideal_allocation(good_bandwidth: float, bad_bandwidth: float) -> float:
+    """The bandwidth-proportional share of the server good clients should get.
+
+    §3.1's design goal: the good clients capture G/(G+B) of the server
+    (when their demand exceeds that share).
+    """
+    _check_bandwidths(good_bandwidth, bad_bandwidth)
+    return good_bandwidth / (good_bandwidth + bad_bandwidth)
+
+
+def good_service_rate(
+    good_demand: float, good_bandwidth: float, bad_bandwidth: float, capacity: float
+) -> float:
+    """Requests/s of good work the server should process: min(g, G/(G+B)·c)."""
+    if good_demand < 0:
+        raise AnalysisError("good demand must be non-negative")
+    if capacity <= 0:
+        raise AnalysisError("capacity must be positive")
+    _check_bandwidths(good_bandwidth, bad_bandwidth)
+    return min(good_demand, ideal_allocation(good_bandwidth, bad_bandwidth) * capacity)
+
+
+def ideal_capacity(good_demand: float, good_bandwidth: float, bad_bandwidth: float) -> float:
+    """The idealized provisioning requirement ``c_id = g(1 + B/G)`` (§3.1).
+
+    A server at least this large serves every good request when speak-up
+    allocates exactly in proportion to bandwidth.
+    """
+    if good_demand < 0:
+        raise AnalysisError("good demand must be non-negative")
+    if good_bandwidth <= 0:
+        raise AnalysisError("good bandwidth must be positive for c_id to be finite")
+    if bad_bandwidth < 0:
+        raise AnalysisError("bad bandwidth must be non-negative")
+    return good_demand * (1.0 + bad_bandwidth / good_bandwidth)
+
+
+def required_provisioning_factor(good_bandwidth: float, bad_bandwidth: float) -> float:
+    """Over-provisioning (relative to good demand) needed to survive an attack.
+
+    ``c_id / g = 1 + B/G``; for B = G this is the paper's factor of two.
+    """
+    if good_bandwidth <= 0:
+        raise AnalysisError("good bandwidth must be positive")
+    if bad_bandwidth < 0:
+        raise AnalysisError("bad bandwidth must be non-negative")
+    return 1.0 + bad_bandwidth / good_bandwidth
+
+
+def surviving_good_fraction(
+    spare_capacity_fraction: float, good_to_bad_bandwidth_ratio: float
+) -> float:
+    """Fraction of good demand served, from spare capacity and G/B (§2.1).
+
+    A server with utilisation ``1 - s`` (spare capacity ``s``) has
+    ``c = g / (1 - s)``.  Under proportional allocation the good clients get
+    ``min(g, G/(G+B) · c)``, so the served fraction of good demand is
+    ``min(1, (G/(G+B)) / (1 - s))``.
+    """
+    if not 0.0 < spare_capacity_fraction < 1.0:
+        raise AnalysisError("spare capacity fraction must be in (0, 1)")
+    if good_to_bad_bandwidth_ratio <= 0:
+        raise AnalysisError("G/B ratio must be positive")
+    ratio = good_to_bad_bandwidth_ratio
+    good_share = ratio / (1.0 + ratio)
+    utilisation = 1.0 - spare_capacity_fraction
+    return min(1.0, good_share / utilisation)
+
+
+def allocation_without_speakup(
+    good_request_rate: float, bad_request_rate: float, capacity: float
+) -> float:
+    """Share of the server good clients get with random drops and no speak-up.
+
+    §3's illustration: when ``g + B > c`` and the server randomly drops the
+    excess, good clients get only ``g / (g + B)`` of the server.  When the
+    server is not overloaded everyone is served and the share is just the
+    good fraction of the load.
+    """
+    if good_request_rate < 0 or bad_request_rate < 0:
+        raise AnalysisError("request rates must be non-negative")
+    if capacity <= 0:
+        raise AnalysisError("capacity must be positive")
+    total = good_request_rate + bad_request_rate
+    if total == 0:
+        return 0.0
+    return good_request_rate / total

@@ -1,0 +1,164 @@
+"""Command-line interface: run any of the paper's experiments from a shell.
+
+Examples::
+
+    speakup-repro demo --good 5 --bad 5 --capacity 20
+    speakup-repro figure2 --duration 60 --client-scale 0.5
+    speakup-repro figure3
+    speakup-repro costs            # Figures 4 and 5
+    speakup-repro figure6
+    speakup-repro figure7
+    speakup-repro figure8
+    speakup-repro figure9
+    speakup-repro advantage        # section 7.4
+    speakup-repro capacity         # section 7.1 analogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import quick_demo
+from repro.experiments.adversary import empirical_adversarial_advantage, format_window_sweep, window_sweep
+from repro.experiments.allocation import (
+    figure2_allocation,
+    figure3_provisioning,
+    format_figure2,
+    format_figure3,
+)
+from repro.experiments.base import ExperimentScale
+from repro.experiments.bottleneck import figure8_shared_bottleneck, format_bottleneck
+from repro.experiments.capacity import thinner_sink_capacity
+from repro.experiments.cost import figure4_5_costs, format_costs
+from repro.experiments.cross_traffic import figure9_cross_traffic, format_cross_traffic
+from repro.experiments.heterogeneous import (
+    figure6_bandwidth_heterogeneity,
+    figure7_rtt_heterogeneity,
+    format_categories,
+)
+from repro.metrics.tables import format_table
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds per run (paper: 600)")
+    parser.add_argument("--client-scale", type=float, default=0.5,
+                        help="fraction of the paper's client count to simulate (paper: 1.0)")
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(duration=args.duration, client_scale=args.client_scale, seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="speakup-repro",
+        description="Reproduction of 'DDoS Defense by Offense' (speak-up), SIGCOMM 2006",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run a small attacked-server demo")
+    demo.add_argument("--good", type=int, default=5)
+    demo.add_argument("--bad", type=int, default=5)
+    demo.add_argument("--capacity", type=float, default=20.0)
+    demo.add_argument("--duration", type=float, default=20.0)
+    demo.add_argument("--defense", default="speakup",
+                      choices=["speakup", "retry", "quantum", "none"])
+    demo.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in [
+        ("figure2", "allocation vs good-bandwidth fraction"),
+        ("figure3", "allocation and served fraction across capacities"),
+        ("costs", "figures 4 and 5: payment time and price"),
+        ("figure6", "heterogeneous client bandwidths"),
+        ("figure7", "heterogeneous client RTTs"),
+        ("figure8", "good and bad clients sharing a bottleneck"),
+        ("figure9", "impact on bystander HTTP downloads"),
+        ("advantage", "section 7.4: empirical adversarial advantage"),
+        ("windows", "section 7.4: bad-client window sweep"),
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_scale_arguments(sub)
+
+    capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
+    capacity.add_argument("--measure-seconds", type=float, default=0.5)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``speakup-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "demo":
+        result = quick_demo(
+            good_clients=args.good,
+            bad_clients=args.bad,
+            capacity_rps=args.capacity,
+            duration=args.duration,
+            defense=args.defense,
+            seed=args.seed,
+        )
+        print(format_table(
+            headers=["metric", "value"],
+            rows=[(key, value) for key, value in result.as_dict().items()],
+            title=f"Demo: {args.good} good + {args.bad} bad clients, defense={args.defense}",
+        ))
+        return 0
+
+    if args.command == "capacity":
+        results = thinner_sink_capacity(duration_seconds=args.measure_seconds)
+        print(format_table(
+            headers=["chunk_bytes", "Mbits_per_s", "chunks_per_s"],
+            rows=[(r.chunk_bytes, r.mbits_per_second, r.chunks_per_second) for r in results],
+            title="Section 7.1 analogue: payment accounting sink rate (Python hot path)",
+        ))
+        return 0
+
+    scale = _scale_from(args)
+    if args.command == "figure2":
+        print(format_figure2(figure2_allocation(scale)))
+    elif args.command == "figure3":
+        print(format_figure3(figure3_provisioning(scale)))
+    elif args.command == "costs":
+        print(format_costs(figure4_5_costs(scale)))
+    elif args.command == "figure6":
+        print(format_categories(
+            figure6_bandwidth_heterogeneity(scale), "bandwidth_Mbit",
+            "Figure 6: allocation across bandwidth categories (all good clients)",
+        ))
+    elif args.command == "figure7":
+        for client_class in ("good", "bad"):
+            print(format_categories(
+                figure7_rtt_heterogeneity(scale, client_class=client_class), "rtt_ms",
+                f"Figure 7: allocation across RTT categories (all {client_class} clients)",
+            ))
+    elif args.command == "figure8":
+        print(format_bottleneck(figure8_shared_bottleneck(scale)))
+    elif args.command == "figure9":
+        print(format_cross_traffic(figure9_cross_traffic(scale)))
+    elif args.command == "advantage":
+        outcome = empirical_adversarial_advantage(scale)
+        print(format_table(
+            headers=["metric", "value"],
+            rows=[
+                ("ideal capacity c_id (req/s)", outcome.ideal_capacity_rps),
+                ("measured capacity (req/s)", outcome.measured_capacity_rps),
+                ("adversarial advantage", outcome.advantage),
+                ("served fraction at c_id", outcome.served_fraction_at_ideal),
+            ],
+            title="Section 7.4: empirical adversarial advantage (paper: 15%)",
+        ))
+    elif args.command == "windows":
+        print(format_window_sweep(window_sweep(scale)))
+    else:  # pragma: no cover - argparse enforces choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,263 @@
+"""The base workload client used for both good and bad populations.
+
+A client generates requests from a Poisson process, keeps at most ``window``
+of them outstanding, parks the rest in a backlog queue with a ten-second
+service-denial timeout, sends each outstanding request to the thinner as a
+small flow, opens a payment channel when encouraged, and records per-request
+metrics when responses (or drops) come back.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Union
+
+from repro.constants import REQUEST_TIMEOUT
+from repro.errors import ClientError
+from repro.core.frontend import Deployment
+from repro.core.payment import PaymentChannel
+from repro.httpd.messages import Request, RequestState, Response, new_request
+from repro.simnet.host import Host
+
+#: A request difficulty is either a constant or a draw from the client's RNG.
+DifficultySpec = Union[float, Callable[["BaseClient"], float]]
+
+
+@dataclass
+class ClientStats:
+    """Counters and per-served-request samples for one client."""
+
+    issued: int = 0
+    sent: int = 0
+    served: int = 0
+    denied: int = 0            # backlog timeouts: the paper's "service denials"
+    dropped: int = 0           # dropped/aborted by the thinner or server
+    backlogged: int = 0
+    bytes_paid: float = 0.0
+    payment_times: List[float] = field(default_factory=list)
+    response_times: List[float] = field(default_factory=list)
+    prices: List[float] = field(default_factory=list)
+
+    @property
+    def finished(self) -> int:
+        """Requests with a final outcome."""
+        return self.served + self.denied + self.dropped
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of finished requests that were served."""
+        if self.finished == 0:
+            return 0.0
+        return self.served / self.finished
+
+
+class BaseClient:
+    """One workload client attached to a :class:`~repro.core.frontend.Deployment`."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        host: Host,
+        rate_rps: float,
+        window: int,
+        client_class: str = "good",
+        category: Optional[str] = None,
+        request_bytes: Optional[float] = None,
+        backlog_timeout: float = REQUEST_TIMEOUT,
+        difficulty: DifficultySpec = 1.0,
+        auto_register: bool = True,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ClientError(f"rate_rps must be positive, got {rate_rps}")
+        if window < 1:
+            raise ClientError(f"window must be at least 1, got {window}")
+        if backlog_timeout <= 0:
+            raise ClientError("backlog_timeout must be positive")
+        self.deployment = deployment
+        self.engine = deployment.engine
+        self.network = deployment.network
+        self.thinner = deployment.thinner
+        self.host = host
+        self.rate_rps = float(rate_rps)
+        self.window = int(window)
+        self.client_class = client_class
+        self.category = category
+        self.request_bytes = (
+            request_bytes if request_bytes is not None else deployment.config.request_bytes
+        )
+        self.backlog_timeout = backlog_timeout
+        self.difficulty = difficulty
+        self.rng = deployment.client_stream(host.name)
+        self.stats = ClientStats()
+
+        self.outstanding = 0
+        self.backlog: Deque[Request] = deque()
+        self.channels: Dict[int, PaymentChannel] = {}
+        self._started = False
+        self._sweep_event = None
+
+        if auto_register:
+            deployment.register_client(self)
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The client's name (its host's name)."""
+        return self.host.name
+
+    @property
+    def upload_bandwidth_bps(self) -> float:
+        """The client's access uplink capacity — its speak-up wealth."""
+        return self.host.upload_capacity_bps
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin generating requests (idempotent; called by ``Deployment.run``)."""
+        if self._started:
+            return
+        self._started = True
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        gap = self.rng.exponential(self.rate_rps)
+        self.engine.schedule_after(gap, self._arrival)
+
+    def _arrival(self) -> None:
+        request = new_request(
+            client_id=self.name,
+            issued_at=self.engine.now,
+            client_class=self.client_class,
+            category=self.category,
+            difficulty=self._draw_difficulty(),
+            size_bytes=self.request_bytes,
+        )
+        self.stats.issued += 1
+        if self.outstanding < self.window:
+            self._issue(request)
+        else:
+            request.state = RequestState.BACKLOGGED
+            self.backlog.append(request)
+            self.stats.backlogged += 1
+            self._ensure_sweep()
+        self._schedule_next_arrival()
+
+    def _draw_difficulty(self) -> float:
+        if callable(self.difficulty):
+            return float(self.difficulty(self))
+        return float(self.difficulty)
+
+    # -- sending a request ---------------------------------------------------------
+
+    def _issue(self, request: Request) -> None:
+        self.outstanding += 1
+        self.stats.sent += 1
+        request.state = RequestState.SENT
+        request.sent_at = self.engine.now
+        self.network.send(
+            self.host,
+            self.deployment.thinner_host,
+            size_bytes=request.size_bytes,
+            label=f"request:{request.request_id}",
+            on_complete=lambda _flow: self.thinner.receive_request(request, self),
+        )
+
+    # -- thinner callbacks ------------------------------------------------------------
+
+    def on_encouraged(self, request: Request) -> None:
+        """The thinner asked for payment: open a payment channel."""
+        if request.request_id in self.channels:
+            return
+        channel = self.deployment.payment_channel(self.host, request)
+        self.channels[request.request_id] = channel
+        channel.open()
+        self.thinner.register_payment(request, channel)
+
+    def on_response(self, request: Request, response: Response) -> None:
+        """The server finished the request."""
+        self._forget_channel(request)
+        self.outstanding -= 1
+        self.stats.served += 1
+        self.stats.bytes_paid += request.bytes_paid
+        self.stats.prices.append(request.price_paid)
+        payment_time = request.payment_time()
+        if payment_time is not None:
+            self.stats.payment_times.append(payment_time)
+        response_time = request.response_time()
+        if response_time is not None:
+            self.stats.response_times.append(response_time)
+        self._drain_backlog()
+
+    def on_dropped(self, request: Request, reason: str) -> None:
+        """The thinner or server abandoned the request."""
+        self._forget_channel(request)
+        self.outstanding -= 1
+        self.stats.dropped += 1
+        self.stats.bytes_paid += request.bytes_paid
+        self._drain_backlog()
+
+    # -- backlog management --------------------------------------------------------------
+    #
+    # Backlogged requests time out ``backlog_timeout`` seconds after they were
+    # issued (the paper's 10-second service denial).  Rather than one timer per
+    # request — bad clients would schedule a thousand timers a second — each
+    # client keeps a single sweep event armed for the head of its backlog; the
+    # backlog is FIFO so heads expire in order.
+
+    def _ensure_sweep(self) -> None:
+        if self._sweep_event is not None and self._sweep_event.pending:
+            return
+        if not self.backlog:
+            return
+        head = self.backlog[0]
+        deadline = head.issued_at + self.backlog_timeout
+        delay = max(0.0, deadline - self.engine.now)
+        self._sweep_event = self.engine.schedule_after(delay, self._sweep_backlog)
+
+    def _sweep_backlog(self) -> None:
+        self._sweep_event = None
+        now = self.engine.now
+        # The expiry test must use exactly the same expression as the re-arm
+        # delay below (issued_at + timeout vs. now); mixing the algebraically
+        # equivalent "now - issued_at >= timeout" can disagree with it in the
+        # last floating-point bit and re-arm a zero-delay sweep forever.
+        while self.backlog and self.backlog[0].issued_at + self.backlog_timeout <= now:
+            request = self.backlog.popleft()
+            self._deny(request)
+        self._ensure_sweep()
+
+    def _deny(self, request: Request) -> None:
+        request.state = RequestState.DENIED
+        request.denied_at = self.engine.now
+        self.stats.denied += 1
+
+    def _drain_backlog(self) -> None:
+        while self.backlog and self.outstanding < self.window:
+            request = self.backlog.popleft()
+            if request.issued_at + self.backlog_timeout <= self.engine.now:
+                self._deny(request)
+                continue
+            self._issue(request)
+
+    def _forget_channel(self, request: Request) -> None:
+        channel = self.channels.pop(request.request_id, None)
+        if channel is not None and channel.is_open:
+            channel.close()
+
+    # -- end-of-run accounting ---------------------------------------------------------------
+
+    def open_payment_bytes(self) -> float:
+        """Bytes delivered on channels still open (work in progress at run end)."""
+        return sum(channel.total_paid() for channel in self.channels.values())
+
+    def total_bytes_spent(self) -> float:
+        """All payment bytes this client delivered during the run."""
+        return self.stats.bytes_paid + self.open_payment_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name}, class={self.client_class}, "
+            f"rate={self.rate_rps}/s, window={self.window})"
+        )

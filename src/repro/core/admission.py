@@ -1,0 +1,71 @@
+"""The undefended baseline: no encouragement, overload handled by dropping.
+
+The paper's "without speak-up" runs (the OFF bars of Figures 2 and 3) model a
+server that, when overloaded, serves what it can and randomly drops the
+excess.  Clients are never asked to pay; the thinner simply keeps a pool of
+pending requests and, whenever the server frees up, picks one at random
+(or the oldest, with the FIFO policy).  Because bad clients issue requests
+at twenty times the rate of good ones and keep twenty outstanding, the pool
+— and therefore the server — is dominated by them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ThinnerError
+from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
+from repro.httpd.messages import Request
+from repro.rng import RandomStream
+
+#: Admission policies the undefended baseline supports.
+POLICIES = ("random", "fifo")
+
+
+class NoDefenseThinner(ThinnerBase):
+    """Pass-through front-end: no payment, drop/queue on overload."""
+
+    def __init__(
+        self,
+        *args,
+        rng: RandomStream,
+        policy: str = "random",
+        pending_limit: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if policy not in POLICIES:
+            raise ThinnerError(f"unknown admission policy {policy!r}; expected one of {POLICIES}")
+        if pending_limit is not None and pending_limit <= 0:
+            raise ThinnerError("pending_limit must be positive or None")
+        self.rng = rng
+        self.policy = policy
+        #: Optional bound on the pending pool (a full listen queue); arrivals
+        #: beyond it are dropped outright.
+        self.pending_limit = pending_limit
+
+    def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
+        if self._server_idle and not self.server.busy:
+            contender = Contender(request=request, client=client, arrived_at=self.engine.now)
+            self._admit(contender, price_bytes=0.0)
+            return
+        if self.pending_limit is not None and len(self._contenders) >= self.pending_limit:
+            self._owners[request.request_id] = client
+            self._drop(request, "queue-full")
+            return
+        self._add_contender(request, client)
+
+    def _server_ready(self) -> None:
+        contender = self._pick()
+        if contender is None:
+            self._server_idle = True
+            return
+        self._admit(contender, price_bytes=0.0)
+
+    def _pick(self) -> Optional[Contender]:
+        if not self._contenders:
+            return None
+        contenders = list(self._contenders.values())
+        if self.policy == "fifo":
+            return min(contenders, key=lambda contender: contender.arrived_at)
+        return self.rng.choice(contenders)

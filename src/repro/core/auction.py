@@ -1,0 +1,53 @@
+"""The explicit payment channel and virtual auction (§3.3).
+
+This is the variant the paper implements and evaluates.  When the server is
+busy, every arriving request is *encouraged*: the client opens a payment
+channel and streams dummy bytes.  Whenever the server signals that it is
+ready for a new request, the thinner holds a virtual auction — it admits the
+contending request that has paid the most bytes and tears down that
+request's payment channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
+from repro.httpd.messages import Request
+
+
+class VirtualAuctionThinner(ThinnerBase):
+    """Admit the highest-paying contender whenever the server frees up."""
+
+    def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
+        if self._server_idle and not self.server.busy:
+            # Nobody is waiting and the server has spare attention: serve the
+            # request immediately at a price of zero.
+            contender = Contender(request=request, client=client, arrived_at=self.engine.now)
+            self._admit(contender, price_bytes=0.0)
+            return
+        contender = self._add_contender(request, client)
+        self._encourage(contender)
+
+    def _server_ready(self) -> None:
+        winner = self._pick_winner()
+        if winner is None:
+            self._server_idle = True
+            return
+        self.stats.auctions_held += 1
+        price = winner.bid(sync=True)
+        self._admit(winner, price_bytes=price)
+
+    def _pick_winner(self) -> Optional[Contender]:
+        """The contender that has paid the most (ties broken by arrival order)."""
+        if not self._contenders:
+            return None
+        now = self.engine.now
+        best: Optional[Contender] = None
+        best_key = (-1.0, 0.0)
+        for contender in self._contenders.values():
+            key = (contender.peek_bid(now), -contender.arrived_at)
+            if best is None or key > best_key:
+                best = contender
+                best_key = key
+        return best

@@ -1,0 +1,218 @@
+"""Deployment: compose a protected site out of the pieces.
+
+A :class:`Deployment` owns the simulation engine, the fluid network over a
+topology, the emulated server, and one thinner variant, and it keeps track
+of the clients that register with it.  Experiments, examples and tests all
+talk to this object rather than wiring the parts by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.constants import (
+    DEFAULT_POST_BYTES,
+    PAYMENT_CHANNEL_TIMEOUT,
+    SERVICE_TIME_JITTER,
+    SUSPEND_ABORT_TIMEOUT,
+)
+from repro.errors import ExperimentError
+from repro.core.admission import NoDefenseThinner
+from repro.core.auction import VirtualAuctionThinner
+from repro.core.payment import PaymentChannel
+from repro.core.quantum import QuantumAuctionThinner
+from repro.core.retry import RandomDropThinner
+from repro.core.thinner import ThinnerBase
+from repro.httpd.messages import Request
+from repro.httpd.server import EmulatedServer
+from repro.rng import StreamFactory
+from repro.simnet.engine import Engine
+from repro.simnet.host import Host
+from repro.simnet.network import FluidNetwork
+from repro.simnet.tcp import SlowStartRamp
+from repro.simnet.topology import Topology
+from repro.simnet.trace import Tracer
+
+#: Names of the built-in thinner variants.
+DEFENSES = ("speakup", "retry", "quantum", "none")
+
+
+@dataclass
+class DeploymentConfig:
+    """Tunable knobs of a protected site."""
+
+    #: Server capacity ``c`` in requests per second.
+    server_capacity_rps: float = 100.0
+    #: Which thinner variant to deploy: one of :data:`DEFENSES`.
+    defense: str = "speakup"
+    #: Admission policy of the undefended baseline ("random" or "fifo").
+    admission_policy: str = "random"
+    #: Size of one payment POST (the prototype uses 1 MByte, §6).
+    post_bytes: float = DEFAULT_POST_BYTES
+    #: Size of a request message on the wire.
+    request_bytes: float = 1500.0
+    #: Thinner-side processing/backlog delay added to each encouragement.
+    encouragement_delay: float = 0.0
+    #: How long the thinner keeps an idle payment channel before evicting it.
+    payment_timeout: float = PAYMENT_CHANNEL_TIMEOUT
+    #: Quantum length for the heterogeneous-request thinner (None = 1/c).
+    quantum_seconds: Optional[float] = None
+    #: Abort a suspended request after this long (§5).
+    suspend_abort_timeout: float = SUSPEND_ABORT_TIMEOUT
+    #: Service time jitter delta (service times are uniform in [(1±delta)/c]).
+    service_jitter: float = SERVICE_TIME_JITTER
+    #: Root seed for every random stream in the deployment.
+    seed: int = 0
+    #: Collect a :class:`~repro.simnet.trace.Tracer` of flow/auction events.
+    enable_tracing: bool = False
+    #: Bound on concurrent contenders (connection descriptors, §6); None = unbounded.
+    max_contenders: Optional[int] = None
+    #: Model TCP slow start on payment POSTs (disable for speed in huge sweeps).
+    model_slow_start: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ExperimentError` on nonsensical settings."""
+        if self.server_capacity_rps <= 0:
+            raise ExperimentError("server_capacity_rps must be positive")
+        if self.defense not in DEFENSES:
+            raise ExperimentError(f"unknown defense {self.defense!r}; expected one of {DEFENSES}")
+        if self.post_bytes <= 0:
+            raise ExperimentError("post_bytes must be positive")
+        if self.request_bytes <= 0:
+            raise ExperimentError("request_bytes must be positive")
+        if self.encouragement_delay < 0:
+            raise ExperimentError("encouragement_delay must be non-negative")
+
+
+class Deployment:
+    """A protected site: engine + network + server + thinner (+ clients)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        thinner_host: Host,
+        config: Optional[DeploymentConfig] = None,
+        thinner_factory: Optional[Callable[["Deployment"], ThinnerBase]] = None,
+    ) -> None:
+        self.config = config or DeploymentConfig()
+        self.config.validate()
+        self.topology = topology
+        self.thinner_host = thinner_host
+
+        self.engine = Engine()
+        self.streams = StreamFactory(self.config.seed)
+        self.tracer = Tracer() if self.config.enable_tracing else None
+        self.network = FluidNetwork(self.engine, topology, tracer=self.tracer)
+        self.slow_start = SlowStartRamp(self.network) if self.config.model_slow_start else None
+        self.server = EmulatedServer(
+            self.engine,
+            self.config.server_capacity_rps,
+            rng=self.streams.stream("server"),
+            jitter=self.config.service_jitter,
+        )
+        if thinner_factory is not None:
+            self.thinner = thinner_factory(self)
+        else:
+            self.thinner = self._build_thinner()
+
+        self.clients: List = []
+        self.duration: Optional[float] = None
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _build_thinner(self) -> ThinnerBase:
+        common = dict(
+            engine=self.engine,
+            network=self.network,
+            server=self.server,
+            host=self.thinner_host,
+            encouragement_delay=self.config.encouragement_delay,
+            payment_timeout=self.config.payment_timeout,
+            max_contenders=self.config.max_contenders,
+        )
+        if self.config.defense == "speakup":
+            return VirtualAuctionThinner(**common)
+        if self.config.defense == "retry":
+            return RandomDropThinner(rng=self.streams.stream("retry-lottery"), **common)
+        if self.config.defense == "quantum":
+            return QuantumAuctionThinner(
+                quantum_seconds=self.config.quantum_seconds,
+                suspend_abort_timeout=self.config.suspend_abort_timeout,
+                **common,
+            )
+        if self.config.defense == "none":
+            return NoDefenseThinner(
+                rng=self.streams.stream("admission"),
+                policy=self.config.admission_policy,
+                **common,
+            )
+        raise ExperimentError(f"unknown defense {self.config.defense!r}")  # pragma: no cover
+
+    # -- client-facing API --------------------------------------------------------------
+
+    def register_client(self, client) -> None:
+        """Called by client constructors so the deployment can enumerate them."""
+        self.clients.append(client)
+
+    def payment_channel(self, client_host: Host, request: Request) -> PaymentChannel:
+        """Build the payment channel a client opens when encouraged."""
+        return PaymentChannel(
+            network=self.network,
+            client_host=client_host,
+            thinner_host=self.thinner_host,
+            request_id=request.request_id,
+            post_bytes=self.config.post_bytes,
+            slow_start=self.slow_start,
+        )
+
+    def client_stream(self, name: str):
+        """A per-client random stream derived from the deployment seed."""
+        return self.streams.stream(f"client:{name}")
+
+    # -- running ------------------------------------------------------------------------------
+
+    def run(self, duration: float) -> "Deployment":
+        """Run the simulation for ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ExperimentError("duration must be positive")
+        for client in self.clients:
+            start = getattr(client, "start", None)
+            if callable(start):
+                start()
+        self.engine.run(until=self.engine.now + duration)
+        self.duration = duration if self.duration is None else self.duration + duration
+        shutdown = getattr(self.thinner, "shutdown", None)
+        if callable(shutdown):
+            shutdown()
+        return self
+
+    def results(self):
+        """Collect the run's metrics (see :mod:`repro.metrics.collector`)."""
+        from repro.metrics.collector import collect
+
+        if self.duration is None:
+            raise ExperimentError("run() must be called before results()")
+        return collect(self)
+
+    # -- convenience views ----------------------------------------------------------------------
+
+    def clients_of_class(self, client_class: str) -> List:
+        """All registered clients of one class ("good" or "bad")."""
+        return [client for client in self.clients if client.client_class == client_class]
+
+    @property
+    def good_clients(self) -> List:
+        return self.clients_of_class("good")
+
+    @property
+    def bad_clients(self) -> List:
+        return self.clients_of_class("bad")
+
+    def aggregate_bandwidth_bps(self, client_class: Optional[str] = None) -> float:
+        """Aggregate access bandwidth of the registered clients (G, B, or G+B)."""
+        total = 0.0
+        for client in self.clients:
+            if client_class is None or client.client_class == client_class:
+                total += client.host.upload_capacity_bps
+        return total

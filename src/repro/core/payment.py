@@ -1,0 +1,203 @@
+"""Payment channels: congestion-controlled streams of dummy bytes.
+
+§3.3/§6: when the server is overloaded the thinner makes the client open a
+separate payment channel on which it sends a series of large HTTP POSTs
+(1 MByte each in the prototype).  The thinner tracks how many bytes each
+contending client has delivered; the auction compares those counters.
+
+Two transport artefacts matter to the evaluation and are modelled here:
+
+* each POST begins in TCP slow start (delegated to
+  :class:`repro.simnet.tcp.SlowStartRamp`), and
+* between consecutive POSTs the channel is quiescent for two RTTs while the
+  browser learns it must keep paying (§3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.constants import DEFAULT_POST_BYTES, POST_QUIESCENT_RTTS
+from repro.errors import PaymentError
+from repro.simnet.engine import Event
+from repro.simnet.flow import Flow
+from repro.simnet.host import Host
+from repro.simnet.network import FluidNetwork
+from repro.simnet.tcp import SlowStartRamp
+
+
+class PaymentChannelState(enum.Enum):
+    """Lifecycle of a payment channel."""
+
+    CREATED = "created"
+    PAYING = "paying"
+    CLOSED = "closed"
+
+
+class PaymentChannel:
+    """A stream of dummy-byte POSTs from one client for one request.
+
+    The channel exposes two views of its payment:
+
+    * :meth:`total_paid` — everything ever delivered (used for byte-cost
+      metrics, Figure 5);
+    * :meth:`balance` — delivered minus consumed (used by the quantum
+      auction of §5, which zeroes a request's balance whenever it wins a
+      quantum).
+
+    For the flat auction of §3.3 the two coincide because nothing is ever
+    consumed before the channel is closed.
+    """
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        client_host: Host,
+        thinner_host: Host,
+        request_id: int,
+        post_bytes: float = DEFAULT_POST_BYTES,
+        slow_start: Optional[SlowStartRamp] = None,
+        quiescent_rtts: float = POST_QUIESCENT_RTTS,
+        on_post_complete: Optional[Callable[["PaymentChannel", int], None]] = None,
+    ) -> None:
+        if post_bytes <= 0:
+            raise PaymentError(f"post_bytes must be positive, got {post_bytes}")
+        if quiescent_rtts < 0:
+            raise PaymentError("quiescent_rtts must be non-negative")
+        self.network = network
+        self.engine = network.engine
+        self.client_host = client_host
+        self.thinner_host = thinner_host
+        self.request_id = request_id
+        self.post_bytes = post_bytes
+        self.slow_start = slow_start
+        self.quiescent_rtts = quiescent_rtts
+        self.on_post_complete = on_post_complete
+
+        self.state = PaymentChannelState.CREATED
+        self.posts_completed = 0
+        self.opened_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+
+        self._committed_bytes = 0.0
+        self._consumed_bytes = 0.0
+        self._flow: Optional[Flow] = None
+        self._gap_event: Optional[Event] = None
+        self._rtt = network.rtt(client_host, thinner_host)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def open(self) -> None:
+        """Start paying (first POST begins immediately)."""
+        if self.state != PaymentChannelState.CREATED:
+            raise PaymentError(f"channel for request {self.request_id} already {self.state.value}")
+        self.state = PaymentChannelState.PAYING
+        self.opened_at = self.engine.now
+        self._start_post()
+
+    def close(self) -> float:
+        """Stop paying (e.g. the request won the auction).  Returns total bytes paid."""
+        if self.state == PaymentChannelState.CLOSED:
+            return self.total_paid()
+        if self._gap_event is not None:
+            self._gap_event.cancel()
+            self._gap_event = None
+        if self._flow is not None:
+            delivered = self.network.stop_flow(self._flow)
+            self._committed_bytes += delivered
+            self._flow = None
+        self.state = PaymentChannelState.CLOSED
+        self.closed_at = self.engine.now
+        return self.total_paid()
+
+    @property
+    def is_open(self) -> bool:
+        """True while the channel may still deliver bytes."""
+        return self.state == PaymentChannelState.PAYING
+
+    # -- payment accounting -------------------------------------------------------
+
+    def total_paid(self, sync: bool = True) -> float:
+        """Every byte this channel has delivered to the thinner so far."""
+        in_flight = 0.0
+        if self._flow is not None:
+            if sync:
+                in_flight = self.network.delivered_bytes(self._flow)
+            else:
+                in_flight = self._flow.delivered_bytes
+        return self._committed_bytes + in_flight
+
+    def balance(self, sync: bool = True) -> float:
+        """Delivered bytes not yet consumed by a won quantum (the current bid)."""
+        return self.total_paid(sync=sync) - self._consumed_bytes
+
+    def peek_balance(self, now: float) -> float:
+        """The current bid, computed read-only (no flow-state mutation).
+
+        Exact under the piecewise-constant rate model; used on the auction
+        hot path where thousands of contenders are compared per second.
+        """
+        in_flight = 0.0
+        flow = self._flow
+        if flow is not None:
+            in_flight = flow.delivered_bytes
+            dt = now - flow._last_integration
+            if dt > 0 and flow.rate_bps > 0:
+                extra = flow.rate_bps * dt / 8.0
+                if flow.size_bytes is not None:
+                    extra = min(extra, flow.size_bytes - flow.delivered_bytes)
+                in_flight += extra
+        return self._committed_bytes + in_flight - self._consumed_bytes
+
+    def consume(self) -> float:
+        """Zero the current bid (quantum auction, §5) and return what it was."""
+        amount = self.balance()
+        self._consumed_bytes += amount
+        return amount
+
+    def payment_rate_bps(self) -> float:
+        """Instantaneous delivery rate of the in-flight POST (0 when quiescent)."""
+        if self._flow is None:
+            return 0.0
+        return self._flow.rate_bps
+
+    # -- POST machinery ---------------------------------------------------------------
+
+    def _start_post(self) -> None:
+        if self.state != PaymentChannelState.PAYING:
+            return
+        self._gap_event = None
+        flow = self.network.send(
+            self.client_host,
+            self.thinner_host,
+            size_bytes=self.post_bytes,
+            label=f"payment:{self.request_id}",
+            on_complete=self._post_done,
+        )
+        flow.owner = self
+        self._flow = flow
+        if self.slow_start is not None:
+            self.slow_start.attach(flow, self._rtt)
+
+    def _post_done(self, flow: Flow) -> None:
+        if flow is not self._flow:  # pragma: no cover - defensive
+            return
+        self._committed_bytes += flow.delivered_bytes
+        self._flow = None
+        self.posts_completed += 1
+        if self.on_post_complete is not None:
+            self.on_post_complete(self, self.posts_completed)
+        if self.state != PaymentChannelState.PAYING:
+            return
+        gap = self.quiescent_rtts * self._rtt
+        if gap > 0:
+            self._gap_event = self.engine.schedule_after(gap, self._start_post)
+        else:
+            self._start_post()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PaymentChannel(request={self.request_id} {self.state.value} "
+            f"paid={self.total_paid(sync=False):.0f}B posts={self.posts_completed})"
+        )

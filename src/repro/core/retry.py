@@ -1,0 +1,83 @@
+"""Random drops and aggressive retries (§3.2).
+
+In this variant clients do not open a separate payment channel: they resend
+their request in a congestion-controlled stream, and the thinner drops
+requests at random with a probability chosen so that roughly ``c`` requests
+per second reach the server.  A client is then served at a rate proportional
+to the rate at which its retries arrive — that is, to its bandwidth.
+
+In the fluid model we do not materialise every individual retry (a 2 Mbit/s
+client emits one ~1500-byte retry about every 6 ms, which would swamp the
+event queue for no benefit).  Instead the retry stream *is* the payment
+channel flow, and admission is a lottery weighted by the bytes each
+contender delivered since the previous admission: under random dropping with
+a uniform probability ``p``, the next admitted request belongs to client
+``i`` with probability proportional to the rate of client ``i``'s retries,
+which is exactly what the weighted lottery implements.  The §3.2 price
+``r = (B+G)/c`` shows up as the average number of retry-bytes a contender
+delivers per admission.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
+from repro.httpd.messages import Request
+from repro.rng import RandomStream
+
+
+class RandomDropThinner(ThinnerBase):
+    """Proportional admission by lottery over delivered retry bytes."""
+
+    def __init__(self, *args, rng: RandomStream, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.rng = rng
+
+    def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
+        if self._server_idle and not self.server.busy:
+            contender = Contender(request=request, client=client, arrived_at=self.engine.now)
+            self._admit(contender, price_bytes=0.0)
+            return
+        contender = self._add_contender(request, client)
+        # The "please retry now" signal: the client starts its retry stream,
+        # which we account exactly like a payment channel.
+        self._encourage(contender)
+
+    def _server_ready(self) -> None:
+        winner = self._pick_winner()
+        if winner is None:
+            self._server_idle = True
+            return
+        self.stats.auctions_held += 1
+        now = self.engine.now
+        price = max(0.0, winner.peek_bid(now) - winner.lottery_baseline)
+        # Reset every contender's baseline: the lottery for the next admission
+        # only counts bytes delivered from now on, mirroring memoryless random
+        # drops on a continuous retry stream.
+        for contender in self._contenders.values():
+            contender.lottery_baseline = contender.peek_bid(now)
+        self._admit(winner, price_bytes=price)
+
+    def _pick_winner(self) -> Optional[Contender]:
+        if not self._contenders:
+            return None
+        now = self.engine.now
+        contenders = list(self._contenders.values())
+        weights = [
+            max(0.0, contender.peek_bid(now) - contender.lottery_baseline)
+            for contender in contenders
+        ]
+        total = sum(weights)
+        if total <= 0.0:
+            # Nobody has delivered any retry bytes yet (e.g. right after the
+            # encouragement went out): fall back to a uniform choice, which is
+            # what random dropping does when all streams look alike.
+            return self.rng.choice(contenders)
+        pick = self.rng.uniform(0.0, total)
+        cumulative = 0.0
+        for contender, weight in zip(contenders, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return contender
+        return contenders[-1]

@@ -1,0 +1,40 @@
+"""Baseline application-level DDoS defenses for comparison with speak-up.
+
+§1 and §8 of the paper place speak-up in a taxonomy: massive
+over-provisioning, detect-and-block (profiling, rate-limiting, CAPTCHAs,
+capabilities), and currency schemes (proof-of-work, money, and — speak-up's
+contribution — bandwidth).  This subpackage implements simplified but
+functional versions of the detect-and-block and proof-of-work baselines so
+the ablation benchmark (A4 in DESIGN.md) can compare them against speak-up
+under the threat model the paper assumes (spoofing, smart bots, unequal
+requests).
+
+Each defense is a thinner variant; attach one to a deployment with::
+
+    Deployment(topology, thinner_host, config,
+               thinner_factory=RateLimitDefense(allowed_rps=4.0).build_thinner)
+"""
+
+from repro.defenses.base import Defense, DefenseRegistry, registry
+from repro.defenses.none import NoDefense
+from repro.defenses.speakup import SpeakUpDefense
+from repro.defenses.ratelimit import RateLimitDefense, RateLimitThinner
+from repro.defenses.profiling import ProfilingDefense, ProfilingThinner
+from repro.defenses.pow import ProofOfWorkDefense, ProofOfWorkThinner
+from repro.defenses.captcha import CaptchaDefense, CaptchaThinner
+
+__all__ = [
+    "Defense",
+    "DefenseRegistry",
+    "registry",
+    "NoDefense",
+    "SpeakUpDefense",
+    "RateLimitDefense",
+    "RateLimitThinner",
+    "ProfilingDefense",
+    "ProfilingThinner",
+    "ProofOfWorkDefense",
+    "ProofOfWorkThinner",
+    "CaptchaDefense",
+    "CaptchaThinner",
+]

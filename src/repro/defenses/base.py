@@ -1,0 +1,68 @@
+"""The Defense interface and registry.
+
+A :class:`Defense` is a named factory that builds a thinner for a
+deployment.  The registry lets experiments and the CLI select defenses by
+name ("speakup", "ratelimit", "pow", ...) without importing each module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator
+
+from repro.errors import DefenseError
+from repro.core.thinner import ThinnerBase
+
+
+class Defense:
+    """A named strategy for protecting the server."""
+
+    #: Short identifier used by the registry, the CLI, and benchmark tables.
+    name: str = "defense"
+
+    def build_thinner(self, deployment) -> ThinnerBase:
+        """Construct this defense's thinner for ``deployment``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description (shown in benchmark output)."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DefenseRegistry:
+    """Name-to-factory registry of available defenses."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Defense]] = {}
+
+    def register(self, name: str, factory: Callable[..., Defense]) -> None:
+        """Register a defense factory under ``name``."""
+        if name in self._factories:
+            raise DefenseError(f"defense {name!r} is already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs) -> Defense:
+        """Instantiate the defense registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise DefenseError(
+                f"unknown defense {name!r}; known: {sorted(self._factories)}"
+            ) from None
+        return factory(**kwargs)
+
+    def names(self) -> list[str]:
+        """All registered defense names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+
+#: The process-wide registry; defense modules register themselves on import.
+registry = DefenseRegistry()

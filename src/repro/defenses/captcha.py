@@ -1,0 +1,91 @@
+"""CAPTCHA / proof-of-humanity admission (a detect-and-block baseline).
+
+§8.1: CAPTCHA defenses preferentially admit humans, but "can be thwarted by
+bad humans ... or good bots (legitimate, non-human clientele or humans who
+do not answer CAPTCHAs)".  We model each client class with a probability of
+solving the challenge; requests whose challenge goes unsolved are dropped.
+Setting a non-trivial solve probability for bad clients models hired
+CAPTCHA farms; setting a sub-1.0 probability for good clients models
+legitimate automated clientele (condition C4) that simply cannot answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DefenseError
+from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
+from repro.defenses.base import Defense, registry
+from repro.httpd.messages import Request
+from repro.rng import RandomStream
+
+#: Default solve probabilities per client class.
+DEFAULT_SOLVE_PROBABILITIES = {"good": 0.95, "bad": 0.05}
+
+
+class CaptchaThinner(ThinnerBase):
+    """Admit (FIFO) only requests whose CAPTCHA was answered."""
+
+    def __init__(
+        self,
+        *args,
+        rng: RandomStream,
+        solve_probabilities: Optional[Dict[str, float]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.rng = rng
+        self.solve_probabilities = dict(DEFAULT_SOLVE_PROBABILITIES)
+        if solve_probabilities:
+            self.solve_probabilities.update(solve_probabilities)
+        for cls, probability in self.solve_probabilities.items():
+            if not 0.0 <= probability <= 1.0:
+                raise DefenseError(f"solve probability for {cls!r} must be in [0, 1]")
+        self.challenges_failed = 0
+
+    def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
+        probability = self.solve_probabilities.get(request.client_class, 1.0)
+        if not self.rng.bernoulli(probability):
+            self.challenges_failed += 1
+            self._drop(request, "captcha-failed")
+            return
+        if self._server_idle and not self.server.busy:
+            contender = Contender(request=request, client=client, arrived_at=self.engine.now)
+            self._admit(contender, price_bytes=0.0)
+            return
+        self._add_contender(request, client)
+
+    def _server_ready(self) -> None:
+        if not self._contenders:
+            self._server_idle = True
+            return
+        oldest = min(self._contenders.values(), key=lambda contender: contender.arrived_at)
+        self._admit(oldest, price_bytes=0.0)
+
+
+class CaptchaDefense(Defense):
+    """Factory for :class:`CaptchaThinner`."""
+
+    name = "captcha"
+
+    def __init__(self, solve_probabilities: Optional[Dict[str, float]] = None) -> None:
+        self.solve_probabilities = solve_probabilities
+
+    def build_thinner(self, deployment) -> CaptchaThinner:
+        return CaptchaThinner(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=deployment.server,
+            host=deployment.thinner_host,
+            rng=deployment.streams.stream("captcha"),
+            solve_probabilities=self.solve_probabilities,
+            encouragement_delay=deployment.config.encouragement_delay,
+            payment_timeout=deployment.config.payment_timeout,
+            max_contenders=deployment.config.max_contenders,
+        )
+
+    def describe(self) -> str:
+        return "captcha (proof of humanity)"
+
+
+registry.register(CaptchaDefense.name, CaptchaDefense)

@@ -1,0 +1,35 @@
+"""No defense: the overloaded server randomly drops excess requests."""
+
+from __future__ import annotations
+
+from repro.core.admission import NoDefenseThinner
+from repro.core.thinner import ThinnerBase
+from repro.defenses.base import Defense, registry
+
+
+class NoDefense(Defense):
+    """The undefended baseline (the paper's "without speak-up" runs)."""
+
+    name = "none"
+
+    def __init__(self, policy: str = "random") -> None:
+        self.policy = policy
+
+    def build_thinner(self, deployment) -> ThinnerBase:
+        return NoDefenseThinner(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=deployment.server,
+            host=deployment.thinner_host,
+            rng=deployment.streams.stream("admission"),
+            policy=self.policy,
+            encouragement_delay=deployment.config.encouragement_delay,
+            payment_timeout=deployment.config.payment_timeout,
+            max_contenders=deployment.config.max_contenders,
+        )
+
+    def describe(self) -> str:
+        return f"no defense ({self.policy} drop on overload)"
+
+
+registry.register(NoDefense.name, NoDefense)

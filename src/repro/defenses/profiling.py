@@ -1,0 +1,132 @@
+"""Historical profiling (the most commonly deployed detect-and-block defense).
+
+§8.1: profiling products "build a historical profile of the defended
+server's clientele and, when the server is attacked, block traffic violating
+the profile".  We model the profile as a per-identity allowed request rate:
+either supplied explicitly (what the operator learned before the attack) or
+learned during the first ``learning_period`` seconds of the run.  The known
+weakness the paper emphasises — bots smart enough to fly under the profiling
+radar, or that built up a profile before attacking — corresponds here to bad
+clients whose request rate stays at or below the learned baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DefenseError
+from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
+from repro.defenses.base import Defense, registry
+from repro.defenses.ratelimit import TokenBucket
+from repro.httpd.messages import Request
+
+
+class ProfilingThinner(ThinnerBase):
+    """Enforce a learned (or given) per-identity demand profile."""
+
+    def __init__(
+        self,
+        *args,
+        baseline_profile: Optional[Dict[str, float]] = None,
+        default_allowed_rps: float = 4.0,
+        learning_period: float = 0.0,
+        slack_factor: float = 1.5,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if default_allowed_rps <= 0:
+            raise DefenseError("default_allowed_rps must be positive")
+        if slack_factor < 1.0:
+            raise DefenseError("slack_factor must be at least 1.0")
+        self.baseline_profile = dict(baseline_profile or {})
+        self.default_allowed_rps = default_allowed_rps
+        self.learning_period = learning_period
+        self.slack_factor = slack_factor
+        self._observed: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.rejected = 0
+
+    # -- profile handling ------------------------------------------------------------
+
+    def allowed_rate(self, identity: str) -> float:
+        """The request rate the profile permits for ``identity``."""
+        if identity in self.baseline_profile:
+            return self.baseline_profile[identity] * self.slack_factor
+        if self.learning_period > 0 and identity in self._observed:
+            learned = self._observed[identity] / self.learning_period
+            return max(learned, 0.1) * self.slack_factor
+        return self.default_allowed_rps
+
+    def _enforcing(self) -> bool:
+        return self.engine.now >= self.learning_period
+
+    def _bucket_for(self, identity: str) -> TokenBucket:
+        bucket = self._buckets.get(identity)
+        if bucket is None:
+            rate = self.allowed_rate(identity)
+            bucket = TokenBucket(rate=rate, burst=max(1.0, rate), tokens=max(1.0, rate),
+                                 last_refill=self.engine.now)
+            self._buckets[identity] = bucket
+        return bucket
+
+    # -- thinner behaviour --------------------------------------------------------------
+
+    def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
+        identity = getattr(request, "spoofed_id", None) or request.client_id
+        if not self._enforcing():
+            self._observed[identity] = self._observed.get(identity, 0) + 1
+        elif not self._bucket_for(identity).try_consume(self.engine.now):
+            self.rejected += 1
+            self._drop(request, "profile-violation")
+            return
+        if self._server_idle and not self.server.busy:
+            contender = Contender(request=request, client=client, arrived_at=self.engine.now)
+            self._admit(contender, price_bytes=0.0)
+            return
+        self._add_contender(request, client)
+
+    def _server_ready(self) -> None:
+        if not self._contenders:
+            self._server_idle = True
+            return
+        oldest = min(self._contenders.values(), key=lambda contender: contender.arrived_at)
+        self._admit(oldest, price_bytes=0.0)
+
+
+class ProfilingDefense(Defense):
+    """Factory for :class:`ProfilingThinner`."""
+
+    name = "profiling"
+
+    def __init__(
+        self,
+        baseline_profile: Optional[Dict[str, float]] = None,
+        default_allowed_rps: float = 4.0,
+        learning_period: float = 0.0,
+        slack_factor: float = 1.5,
+    ) -> None:
+        self.baseline_profile = baseline_profile
+        self.default_allowed_rps = default_allowed_rps
+        self.learning_period = learning_period
+        self.slack_factor = slack_factor
+
+    def build_thinner(self, deployment) -> ProfilingThinner:
+        return ProfilingThinner(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=deployment.server,
+            host=deployment.thinner_host,
+            baseline_profile=self.baseline_profile,
+            default_allowed_rps=self.default_allowed_rps,
+            learning_period=self.learning_period,
+            slack_factor=self.slack_factor,
+            encouragement_delay=deployment.config.encouragement_delay,
+            payment_timeout=deployment.config.payment_timeout,
+            max_contenders=deployment.config.max_contenders,
+        )
+
+    def describe(self) -> str:
+        return f"profiling (default {self.default_allowed_rps:g} req/s, slack {self.slack_factor:g}x)"
+
+
+registry.register(ProfilingDefense.name, ProfilingDefense)

@@ -1,0 +1,122 @@
+"""Per-address rate limiting (a detect-and-block baseline).
+
+§1 calls rate limiting "a special case of profiling in which the acceptable
+request rate is the same for all clients".  The thinner keeps a token bucket
+per observed client identity and drops requests that exceed it.  Its known
+failure modes (per §8.1) are NAT — many legitimate clients behind one
+address share one bucket — and spoofing — one attacker presenting many
+identities gets many buckets.  The ablation benchmark exercises the latter
+with a spoofing bad client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import DefenseError
+from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
+from repro.defenses.base import Defense, registry
+from repro.httpd.messages import Request
+
+
+@dataclass
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    rate: float
+    burst: float
+    tokens: float
+    last_refill: float
+
+    def try_consume(self, now: float, amount: float = 1.0) -> bool:
+        """Refill for elapsed time and consume ``amount`` tokens if available."""
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last_refill = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class RateLimitThinner(ThinnerBase):
+    """Admit each identity at no more than ``allowed_rps`` requests/s."""
+
+    def __init__(self, *args, allowed_rps: float, burst: Optional[float] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if allowed_rps <= 0:
+            raise DefenseError("allowed_rps must be positive")
+        self.allowed_rps = allowed_rps
+        self.burst = burst if burst is not None else max(1.0, allowed_rps)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.rejected = 0
+
+    def _bucket_for(self, identity: str) -> TokenBucket:
+        bucket = self._buckets.get(identity)
+        if bucket is None:
+            bucket = TokenBucket(
+                rate=self.allowed_rps,
+                burst=self.burst,
+                tokens=self.burst,
+                last_refill=self.engine.now,
+            )
+            self._buckets[identity] = bucket
+        return bucket
+
+    def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
+        identity = self._observed_identity(request, client)
+        if not self._bucket_for(identity).try_consume(self.engine.now):
+            self.rejected += 1
+            self._drop(request, "rate-limited")
+            return
+        if self._server_idle and not self.server.busy:
+            contender = Contender(request=request, client=client, arrived_at=self.engine.now)
+            self._admit(contender, price_bytes=0.0)
+            return
+        self._add_contender(request, client)
+
+    def _server_ready(self) -> None:
+        if not self._contenders:
+            self._server_idle = True
+            return
+        oldest = min(self._contenders.values(), key=lambda contender: contender.arrived_at)
+        self._admit(oldest, price_bytes=0.0)
+
+    @staticmethod
+    def _observed_identity(request: Request, client: ClientProtocol) -> str:
+        """The identity the defense can see — spoofers override ``spoofed_id``."""
+        spoofed = getattr(request, "spoofed_id", None)
+        if spoofed:
+            return spoofed
+        return request.client_id
+
+
+class RateLimitDefense(Defense):
+    """Factory for :class:`RateLimitThinner`."""
+
+    name = "ratelimit"
+
+    def __init__(self, allowed_rps: float = 4.0, burst: Optional[float] = None) -> None:
+        self.allowed_rps = allowed_rps
+        self.burst = burst
+
+    def build_thinner(self, deployment) -> RateLimitThinner:
+        return RateLimitThinner(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=deployment.server,
+            host=deployment.thinner_host,
+            allowed_rps=self.allowed_rps,
+            burst=self.burst,
+            encouragement_delay=deployment.config.encouragement_delay,
+            payment_timeout=deployment.config.payment_timeout,
+            max_contenders=deployment.config.max_contenders,
+        )
+
+    def describe(self) -> str:
+        return f"rate limit ({self.allowed_rps:g} req/s per address)"
+
+
+registry.register(RateLimitDefense.name, RateLimitDefense)

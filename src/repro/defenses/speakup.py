@@ -1,0 +1,49 @@
+"""Speak-up packaged as a Defense (the paper's contribution)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.auction import VirtualAuctionThinner
+from repro.core.quantum import QuantumAuctionThinner
+from repro.core.retry import RandomDropThinner
+from repro.core.thinner import ThinnerBase
+from repro.defenses.base import Defense, registry
+from repro.errors import DefenseError
+
+#: The three speak-up encouragement/allocation mechanisms.
+VARIANTS = ("auction", "retry", "quantum")
+
+
+class SpeakUpDefense(Defense):
+    """Bandwidth-as-currency defense; variant selects the mechanism."""
+
+    name = "speakup"
+
+    def __init__(self, variant: str = "auction", quantum_seconds: Optional[float] = None) -> None:
+        if variant not in VARIANTS:
+            raise DefenseError(f"unknown speak-up variant {variant!r}; expected one of {VARIANTS}")
+        self.variant = variant
+        self.quantum_seconds = quantum_seconds
+
+    def build_thinner(self, deployment) -> ThinnerBase:
+        common = dict(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=deployment.server,
+            host=deployment.thinner_host,
+            encouragement_delay=deployment.config.encouragement_delay,
+            payment_timeout=deployment.config.payment_timeout,
+            max_contenders=deployment.config.max_contenders,
+        )
+        if self.variant == "auction":
+            return VirtualAuctionThinner(**common)
+        if self.variant == "retry":
+            return RandomDropThinner(rng=deployment.streams.stream("retry-lottery"), **common)
+        return QuantumAuctionThinner(quantum_seconds=self.quantum_seconds, **common)
+
+    def describe(self) -> str:
+        return f"speak-up ({self.variant})"
+
+
+registry.register(SpeakUpDefense.name, SpeakUpDefense)

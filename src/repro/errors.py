@@ -1,0 +1,55 @@
+"""Exception hierarchy for the speak-up reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine or fluid network was used incorrectly."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or re-used after cancellation."""
+
+
+class TopologyError(SimulationError):
+    """A host, link, or path was configured inconsistently."""
+
+
+class FlowError(SimulationError):
+    """A flow was started, stopped, or queried in an invalid state."""
+
+
+class ThinnerError(ReproError):
+    """The thinner front-end was driven with an invalid request lifecycle."""
+
+
+class PaymentError(ThinnerError):
+    """A payment channel was opened, credited, or closed in an invalid state."""
+
+
+class AuctionError(ThinnerError):
+    """The virtual auction was asked to run with inconsistent state."""
+
+
+class ServerError(ReproError):
+    """The emulated server was driven through an invalid state transition."""
+
+
+class DefenseError(ReproError):
+    """A baseline defense was configured or attached incorrectly."""
+
+
+class ClientError(ReproError):
+    """A workload client was configured or driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a run failed to complete."""
+
+
+class AnalysisError(ReproError):
+    """A closed-form analysis routine was called with invalid parameters."""

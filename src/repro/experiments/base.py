@@ -1,0 +1,153 @@
+"""Shared experiment machinery: scaling, scenario construction, running.
+
+The paper's experiments run 50 clients for 600 seconds on Emulab.  A pure
+Python simulation reproduces the same *proportions* at smaller scale, so the
+harness is parameterised by an :class:`ExperimentScale`:
+
+* ``ExperimentScale.test()`` — a few clients, a few seconds; used by tests;
+* ``ExperimentScale.default()`` — half the paper's client count, 60 seconds;
+  used by the benchmark harness (override with the ``REPRO_BENCH_DURATION``
+  and ``REPRO_BENCH_CLIENT_SCALE`` environment variables);
+* ``ExperimentScale.paper()`` — the full 50 clients / 600 seconds.
+
+Client counts and the server capacity are scaled together, which keeps every
+ratio the paper cares about (demand vs. capacity, G vs. B) unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.constants import (
+    BAD_CLIENT_RATE,
+    BAD_CLIENT_WINDOW,
+    DEFAULT_CLIENT_BANDWIDTH,
+    GOOD_CLIENT_RATE,
+    GOOD_CLIENT_WINDOW,
+    PAPER_EXPERIMENT_DURATION,
+)
+from repro.errors import ExperimentError
+from repro.clients.population import build_mixed_population
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.metrics.collector import RunResult
+from repro.simnet.topology import build_lan, uniform_bandwidths
+
+#: Environment variables the benchmark harness reads.
+ENV_DURATION = "REPRO_BENCH_DURATION"
+ENV_CLIENT_SCALE = "REPRO_BENCH_CLIENT_SCALE"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big a run to perform relative to the paper's setup."""
+
+    duration: float = 60.0
+    client_scale: float = 0.5
+    seed: int = 0
+
+    @classmethod
+    def test(cls, seed: int = 0) -> "ExperimentScale":
+        """Tiny runs for the unit/integration test suite."""
+        return cls(duration=12.0, client_scale=0.2, seed=seed)
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "ExperimentScale":
+        """The benchmark default (overridable through the environment)."""
+        duration = float(os.environ.get(ENV_DURATION, 60.0))
+        client_scale = float(os.environ.get(ENV_CLIENT_SCALE, 0.5))
+        return cls(duration=duration, client_scale=client_scale, seed=seed)
+
+    @classmethod
+    def paper(cls, seed: int = 0) -> "ExperimentScale":
+        """The paper's full scale: 50 clients, 600 seconds."""
+        return cls(duration=PAPER_EXPERIMENT_DURATION, client_scale=1.0, seed=seed)
+
+    def clients(self, paper_count: int) -> int:
+        """Scale a client count from the paper's setup (at least 1 if nonzero)."""
+        if paper_count == 0:
+            return 0
+        return max(1, round(paper_count * self.client_scale))
+
+    def capacity(self, paper_capacity: float, paper_clients: int, scaled_clients: int) -> float:
+        """Scale the server capacity to keep load/capacity ratios unchanged."""
+        if paper_clients == 0:
+            return paper_capacity
+        return paper_capacity * scaled_clients / paper_clients
+
+    def with_seed(self, seed: int) -> "ExperimentScale":
+        """The same scale with a different seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass
+class LanScenario:
+    """A §7.2-style scenario: all clients on a LAN with the thinner."""
+
+    good_clients: int
+    bad_clients: int
+    capacity_rps: float
+    defense: str = "speakup"
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH
+    good_rate: float = GOOD_CLIENT_RATE
+    good_window: int = GOOD_CLIENT_WINDOW
+    bad_rate: float = BAD_CLIENT_RATE
+    bad_window: int = BAD_CLIENT_WINDOW
+    duration: float = 60.0
+    seed: int = 0
+    encouragement_delay: float = 0.0
+    extra_config: Dict = field(default_factory=dict)
+
+    def total_clients(self) -> int:
+        return self.good_clients + self.bad_clients
+
+    def validate(self) -> None:
+        if self.total_clients() <= 0:
+            raise ExperimentError("scenario needs at least one client")
+        if self.duration <= 0:
+            raise ExperimentError("duration must be positive")
+        if self.capacity_rps <= 0:
+            raise ExperimentError("capacity must be positive")
+
+
+def run_lan_scenario(scenario: LanScenario) -> RunResult:
+    """Build, run, and collect one LAN scenario."""
+    scenario.validate()
+    bandwidths = uniform_bandwidths(scenario.total_clients(), scenario.client_bandwidth_bps)
+    topology, hosts, thinner_host = build_lan(bandwidths)
+    config = DeploymentConfig(
+        server_capacity_rps=scenario.capacity_rps,
+        defense=scenario.defense,
+        seed=scenario.seed,
+        encouragement_delay=scenario.encouragement_delay,
+        **scenario.extra_config,
+    )
+    deployment = Deployment(topology, thinner_host, config)
+    build_mixed_population(
+        deployment,
+        hosts,
+        good_count=scenario.good_clients,
+        bad_count=scenario.bad_clients,
+        good_rate=scenario.good_rate,
+        good_window=scenario.good_window,
+        bad_rate=scenario.bad_rate,
+        bad_window=scenario.bad_window,
+    )
+    deployment.run(scenario.duration)
+    return deployment.results()
+
+
+def sweep_seeds(scenario: LanScenario, seeds: Sequence[int]) -> List[RunResult]:
+    """Run the same scenario under several seeds (for variance estimates)."""
+    results = []
+    for seed in seeds:
+        results.append(run_lan_scenario(replace_scenario_seed(scenario, seed)))
+    return results
+
+
+def replace_scenario_seed(scenario: LanScenario, seed: int) -> LanScenario:
+    """A copy of ``scenario`` with a different seed."""
+    copy = LanScenario(**{**scenario.__dict__})
+    copy.seed = seed
+    return copy

@@ -1,0 +1,170 @@
+"""Figure 8: good and bad clients sharing a bottleneck link (§7.6).
+
+Topology: 30 clients (2 Mbits/s each) reach the thinner through a shared
+40 Mbits/s cable ``l`` (a bottleneck, since they can generate 60 Mbits/s);
+10 good and 10 bad clients attach directly.  Server capacity is 50
+requests/s.  The split of good/bad behind ``l`` varies over
+{5/25, 15/15, 25/5}.
+
+The paper reports that (a) the clients behind ``l`` collectively capture
+about half the server (their share of the aggregate bandwidth), but (b)
+within that half the bad clients beat the bandwidth-proportional ideal
+because their concurrent connections hog ``l``, and (c) the fraction of
+bottlenecked good requests served suffers accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.constants import DEFAULT_CLIENT_BANDWIDTH, MBIT
+from repro.clients.population import build_mixed_population
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.experiments.base import ExperimentScale
+from repro.metrics.summary import ratio
+from repro.metrics.tables import format_table
+from repro.simnet.topology import build_bottleneck, uniform_bandwidths
+
+#: Paper-scale parameters.
+PAPER_BEHIND_BOTTLENECK = 30
+PAPER_DIRECT_GOOD = 10
+PAPER_DIRECT_BAD = 10
+PAPER_BOTTLENECK_BANDWIDTH = 40 * MBIT
+PAPER_CAPACITY = 50.0
+PAPER_SPLITS = ((5, 25), (15, 15), (25, 5))
+
+
+@dataclass(frozen=True)
+class BottleneckRow:
+    """Measurements for one good/bad split behind the bottleneck."""
+
+    good_behind: int
+    bad_behind: int
+    bottleneck_share_of_server: float
+    good_share_of_bottleneck_service: float
+    bad_share_of_bottleneck_service: float
+    ideal_good_share_of_bottleneck_service: float
+    bottlenecked_good_served_fraction: float
+    ideal_bottlenecked_good_served_fraction: float
+
+
+def figure8_shared_bottleneck(
+    scale: ExperimentScale,
+    splits: Sequence[Tuple[int, int]] = PAPER_SPLITS,
+) -> List[BottleneckRow]:
+    """Reproduce Figure 8 for each good/bad split behind the bottleneck."""
+    rows: List[BottleneckRow] = []
+    behind = scale.clients(PAPER_BEHIND_BOTTLENECK)
+    direct_good = scale.clients(PAPER_DIRECT_GOOD)
+    direct_bad = scale.clients(PAPER_DIRECT_BAD)
+    total_paper = PAPER_BEHIND_BOTTLENECK + PAPER_DIRECT_GOOD + PAPER_DIRECT_BAD
+    total_scaled = behind + direct_good + direct_bad
+    capacity = PAPER_CAPACITY * total_scaled / total_paper
+    bottleneck_bandwidth = PAPER_BOTTLENECK_BANDWIDTH * behind / PAPER_BEHIND_BOTTLENECK
+
+    for paper_good_behind, paper_bad_behind in splits:
+        good_behind = max(1, round(behind * paper_good_behind / PAPER_BEHIND_BOTTLENECK))
+        good_behind = min(good_behind, behind - 1)
+        bad_behind = behind - good_behind
+
+        topology, bottlenecked_hosts, direct_hosts, thinner_host, _link = build_bottleneck(
+            bottlenecked_bandwidths_bps=uniform_bandwidths(behind, DEFAULT_CLIENT_BANDWIDTH),
+            direct_bandwidths_bps=uniform_bandwidths(
+                direct_good + direct_bad, DEFAULT_CLIENT_BANDWIDTH
+            ),
+            bottleneck_bandwidth_bps=bottleneck_bandwidth,
+        )
+        config = DeploymentConfig(
+            server_capacity_rps=capacity, defense="speakup", seed=scale.seed
+        )
+        deployment = Deployment(topology, thinner_host, config)
+        build_mixed_population(
+            deployment,
+            bottlenecked_hosts,
+            good_count=good_behind,
+            bad_count=bad_behind,
+            good_category="bottleneck-good",
+            bad_category="bottleneck-bad",
+        )
+        build_mixed_population(
+            deployment,
+            direct_hosts,
+            good_count=direct_good,
+            bad_count=direct_bad,
+            good_category="direct-good",
+            bad_category="direct-bad",
+        )
+        deployment.run(scale.duration)
+        result = deployment.results()
+
+        bn_good = result.allocation_by_category.get("bottleneck-good", 0.0)
+        bn_bad = result.allocation_by_category.get("bottleneck-bad", 0.0)
+        bottleneck_share = bn_good + bn_bad
+        rows.append(
+            BottleneckRow(
+                good_behind=good_behind,
+                bad_behind=bad_behind,
+                bottleneck_share_of_server=bottleneck_share,
+                good_share_of_bottleneck_service=ratio(bn_good, bottleneck_share),
+                bad_share_of_bottleneck_service=ratio(bn_bad, bottleneck_share),
+                ideal_good_share_of_bottleneck_service=good_behind / (good_behind + bad_behind),
+                bottlenecked_good_served_fraction=result.served_fraction_by_category.get(
+                    "bottleneck-good", 0.0
+                ),
+                ideal_bottlenecked_good_served_fraction=_ideal_served_fraction(
+                    good_behind, bad_behind, behind, bottleneck_bandwidth, capacity,
+                    direct_good, direct_bad,
+                ),
+            )
+        )
+    return rows
+
+
+def _ideal_served_fraction(
+    good_behind: int,
+    bad_behind: int,
+    behind: int,
+    bottleneck_bandwidth: float,
+    capacity: float,
+    direct_good: int,
+    direct_bad: int,
+) -> float:
+    """The paper's footnote-2 ideal: bottlenecked clients split l's bandwidth
+    evenly, so each effectively owns l/n of the currency; the served fraction
+    of a good client's demand is its proportional server share over its
+    demand (capped at 1)."""
+    per_client_bandwidth = bottleneck_bandwidth / behind
+    direct_bandwidth = (direct_good + direct_bad) * DEFAULT_CLIENT_BANDWIDTH
+    total_bandwidth = bottleneck_bandwidth + direct_bandwidth
+    good_share = (good_behind * per_client_bandwidth) / total_bandwidth
+    good_demand = good_behind * 2.0  # lambda = 2 per good client
+    if good_demand == 0:
+        return 0.0
+    return min(1.0, good_share * capacity / good_demand)
+
+
+def format_bottleneck(rows: Sequence[BottleneckRow]) -> str:
+    """Render Figure 8 as a text table."""
+    return format_table(
+        headers=[
+            "good/bad behind l",
+            "l share of server",
+            "good share (actual)",
+            "good share (ideal)",
+            "good served frac",
+            "ideal served frac",
+        ],
+        rows=[
+            (
+                f"{row.good_behind}/{row.bad_behind}",
+                row.bottleneck_share_of_server,
+                row.good_share_of_bottleneck_service,
+                row.ideal_good_share_of_bottleneck_service,
+                row.bottlenecked_good_served_fraction,
+                row.ideal_bottlenecked_good_served_fraction,
+            )
+            for row in rows
+        ],
+        title="Figure 8: good and bad clients sharing a bottleneck link",
+    )

@@ -1,0 +1,122 @@
+"""Figure 9: speak-up's impact on other traffic (§7.7).
+
+Ten good speak-up clients share a 1 Mbit/s, 100 ms bottleneck ``m`` with a
+bystander host ``H`` that repeatedly downloads files from a separate web
+server ``S`` on the far side of ``m``.  The thinner (fronting a server with
+``c = 2`` requests/s) keeps the speak-up clients uploading payment bytes, so
+``m``'s upload direction is saturated; ``H``'s requests and ACKs suffer, and
+its download latency inflates several-fold for small transfers.
+
+The experiment runs the speak-up workload in the simulator, lets it reach
+steady state, and then models 100 downloads per transfer size with
+:class:`repro.httpd.download.DownloadModel`, once with the payment traffic
+present and once without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.constants import KBYTE, MBIT, milliseconds
+from repro.clients.good import GoodClient
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.experiments.base import ExperimentScale
+from repro.httpd.download import DownloadModel
+from repro.metrics.summary import mean, stddev
+from repro.metrics.tables import format_table
+from repro.rng import RandomStream
+from repro.simnet.topology import build_dumbbell, uniform_bandwidths
+
+#: Paper-scale parameters for §7.7.
+PAPER_SPEAKUP_CLIENTS = 10
+PAPER_BOTTLENECK_BANDWIDTH = 1 * MBIT
+PAPER_BOTTLENECK_DELAY = milliseconds(100.0)
+PAPER_CAPACITY = 2.0
+PAPER_TRANSFER_SIZES_KB = (1, 4, 16, 64, 256)
+PAPER_DOWNLOADS_PER_SIZE = 100
+
+
+@dataclass(frozen=True)
+class CrossTrafficRow:
+    """Download latency for one transfer size, with and without speak-up."""
+
+    size_kbytes: float
+    latency_without_speakup: float
+    latency_with_speakup: float
+    stddev_without: float
+    stddev_with: float
+
+    @property
+    def inflation(self) -> float:
+        """How many times slower the download is with speak-up running."""
+        if self.latency_without_speakup == 0:
+            return 1.0
+        return self.latency_with_speakup / self.latency_without_speakup
+
+
+def _build_dumbbell_deployment(scale: ExperimentScale, with_clients: bool):
+    # The experiment's point is that the payment traffic saturates the
+    # bottleneck, which needs a handful of concurrently-paying clients even
+    # at reduced scale — so never shrink below four.
+    clients = max(4, scale.clients(PAPER_SPEAKUP_CLIENTS))
+    capacity = PAPER_CAPACITY * clients / PAPER_SPEAKUP_CLIENTS
+    topology, client_hosts, victim, thinner_host, web_server, bottleneck = build_dumbbell(
+        left_bandwidths_bps=uniform_bandwidths(clients, 2 * MBIT),
+        bottleneck_bandwidth_bps=PAPER_BOTTLENECK_BANDWIDTH,
+        bottleneck_delay_s=PAPER_BOTTLENECK_DELAY,
+    )
+    config = DeploymentConfig(server_capacity_rps=capacity, defense="speakup", seed=scale.seed)
+    deployment = Deployment(topology, thinner_host, config)
+    if with_clients:
+        for host in client_hosts:
+            GoodClient(deployment, host)
+    model = DownloadModel(deployment.network, victim, web_server, bottleneck)
+    return deployment, model
+
+
+def figure9_cross_traffic(
+    scale: ExperimentScale,
+    sizes_kbytes: Sequence[float] = PAPER_TRANSFER_SIZES_KB,
+    downloads_per_size: int = PAPER_DOWNLOADS_PER_SIZE,
+) -> List[CrossTrafficRow]:
+    """Reproduce Figure 9: HTTP download latency with and without speak-up."""
+    results = {}
+    for with_speakup in (False, True):
+        deployment, model = _build_dumbbell_deployment(scale, with_clients=with_speakup)
+        # Let the payment traffic (if any) reach steady state before sampling.
+        deployment.run(scale.duration)
+        rng = RandomStream(scale.seed, f"downloads-{with_speakup}")
+        per_size = {}
+        for size_kb in sizes_kbytes:
+            samples = model.repeated_downloads(size_kb * KBYTE, downloads_per_size, rng)
+            latencies = [sample.latency for sample in samples]
+            per_size[size_kb] = (mean(latencies), stddev(latencies))
+        results[with_speakup] = per_size
+
+    rows: List[CrossTrafficRow] = []
+    for size_kb in sizes_kbytes:
+        mean_without, std_without = results[False][size_kb]
+        mean_with, std_with = results[True][size_kb]
+        rows.append(
+            CrossTrafficRow(
+                size_kbytes=size_kb,
+                latency_without_speakup=mean_without,
+                latency_with_speakup=mean_with,
+                stddev_without=std_without,
+                stddev_with=std_with,
+            )
+        )
+    return rows
+
+
+def format_cross_traffic(rows: Sequence[CrossTrafficRow]) -> str:
+    """Render Figure 9 as a text table."""
+    return format_table(
+        headers=["size_KB", "without_s", "with_s", "inflation_x"],
+        rows=[
+            (row.size_kbytes, row.latency_without_speakup, row.latency_with_speakup, row.inflation)
+            for row in rows
+        ],
+        title="Figure 9: bystander HTTP download latency across the shared bottleneck",
+    )

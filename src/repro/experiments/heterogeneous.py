@@ -1,0 +1,138 @@
+"""Figures 6 and 7: heterogeneous client bandwidths and RTTs (§7.5).
+
+Figure 6: 50 all-good clients in five bandwidth categories (category ``i``
+has ``0.5 · i`` Mbits/s), server capacity 10 requests/s.  The fraction of
+the server captured by each category should track the bandwidth-proportional
+ideal.
+
+Figure 7: 50 clients in five RTT categories (category ``i`` has
+``100 · i`` ms to the thinner), all 2 Mbits/s, capacity 10 requests/s, run
+once with all-good clients and once with all-bad clients.  Good clients with
+longer RTTs get less of the server (slow start and the inter-POST quiescence
+cost them); bad clients, whose many concurrent channels hide those gaps, are
+largely unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.constants import MBIT, milliseconds
+from repro.clients.population import PopulationSpec, build_population
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.experiments.base import ExperimentScale
+from repro.metrics.collector import RunResult
+from repro.metrics.tables import format_table
+from repro.simnet.topology import build_lan
+
+#: Paper-scale setup shared by both figures: 5 categories of 10 clients.
+PAPER_CATEGORY_COUNT = 5
+PAPER_CLIENTS_PER_CATEGORY = 10
+PAPER_CAPACITY = 10.0
+
+
+@dataclass(frozen=True)
+class CategoryRow:
+    """Server share captured by one client category."""
+
+    category: str
+    parameter: float            # bandwidth in Mbit/s (Fig 6) or RTT in ms (Fig 7)
+    clients: int
+    observed_allocation: float
+    ideal_allocation: float
+
+
+def _run_categorised(
+    scale: ExperimentScale,
+    bandwidths_mbit: Sequence[float],
+    rtts_ms: Sequence[float],
+    client_class: str,
+    capacity: float,
+    clients_per_category: int,
+) -> RunResult:
+    categories = len(bandwidths_mbit)
+    bandwidths = []
+    delays = []
+    specs = []
+    for index in range(categories):
+        label = f"cat-{index + 1}"
+        bandwidths.extend([bandwidths_mbit[index] * MBIT] * clients_per_category)
+        # Host-attributed extra delay supplies the one-way RTT contribution.
+        delays.extend([milliseconds(rtts_ms[index]) / 2.0] * clients_per_category)
+        specs.append(
+            PopulationSpec(
+                count=clients_per_category,
+                client_class=client_class,
+                category=label,
+            )
+        )
+    topology, hosts, thinner_host = build_lan(bandwidths, client_delays_s=delays)
+    config = DeploymentConfig(server_capacity_rps=capacity, defense="speakup", seed=scale.seed)
+    deployment = Deployment(topology, thinner_host, config)
+    build_population(deployment, hosts, specs)
+    deployment.run(scale.duration)
+    return deployment.results()
+
+
+def figure6_bandwidth_heterogeneity(scale: ExperimentScale) -> List[CategoryRow]:
+    """Reproduce Figure 6: allocation across bandwidth categories, all good."""
+    clients_per_category = max(1, scale.clients(PAPER_CLIENTS_PER_CATEGORY))
+    capacity = PAPER_CAPACITY * (clients_per_category / PAPER_CLIENTS_PER_CATEGORY)
+    bandwidths_mbit = [0.5 * (index + 1) for index in range(PAPER_CATEGORY_COUNT)]
+    rtts_ms = [0.0] * PAPER_CATEGORY_COUNT
+    result = _run_categorised(
+        scale, bandwidths_mbit, rtts_ms, "good", capacity, clients_per_category
+    )
+    total_bandwidth = sum(bandwidths_mbit)
+    rows = []
+    for index, bandwidth in enumerate(bandwidths_mbit):
+        label = f"cat-{index + 1}"
+        rows.append(
+            CategoryRow(
+                category=label,
+                parameter=bandwidth,
+                clients=clients_per_category,
+                observed_allocation=result.allocation_by_category.get(label, 0.0),
+                ideal_allocation=bandwidth / total_bandwidth,
+            )
+        )
+    return rows
+
+
+def figure7_rtt_heterogeneity(
+    scale: ExperimentScale, client_class: str = "good"
+) -> List[CategoryRow]:
+    """Reproduce one series of Figure 7 (``client_class`` is "good" or "bad")."""
+    clients_per_category = max(1, scale.clients(PAPER_CLIENTS_PER_CATEGORY))
+    capacity = PAPER_CAPACITY * (clients_per_category / PAPER_CLIENTS_PER_CATEGORY)
+    bandwidths_mbit = [2.0] * PAPER_CATEGORY_COUNT
+    rtts_ms = [100.0 * (index + 1) for index in range(PAPER_CATEGORY_COUNT)]
+    result = _run_categorised(
+        scale, bandwidths_mbit, rtts_ms, client_class, capacity, clients_per_category
+    )
+    rows = []
+    for index, rtt in enumerate(rtts_ms):
+        label = f"cat-{index + 1}"
+        rows.append(
+            CategoryRow(
+                category=label,
+                parameter=rtt,
+                clients=clients_per_category,
+                observed_allocation=result.allocation_by_category.get(label, 0.0),
+                ideal_allocation=1.0 / PAPER_CATEGORY_COUNT,
+            )
+        )
+    return rows
+
+
+def format_categories(rows: Sequence[CategoryRow], parameter_name: str, title: str) -> str:
+    """Render a category breakdown (Figure 6 or one series of Figure 7)."""
+    return format_table(
+        headers=["category", parameter_name, "observed", "ideal"],
+        rows=[
+            (row.category, row.parameter, row.observed_allocation, row.ideal_allocation)
+            for row in rows
+        ],
+        title=title,
+    )

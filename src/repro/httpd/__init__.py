@@ -1,0 +1,36 @@
+"""HTTP-ish substrate: request/response messages, the emulated back-end
+server, and the ACK-clocked download model used by the cross-traffic
+experiment (§7.7).
+
+The real prototype (§6) is an OKWS Web service whose clients are browsers
+driven by JavaScript.  What the evaluation actually depends on is (a) the
+request abstraction, (b) a back-end that serves one request at a time with a
+jittered service time, and (c) 1-MByte POSTs as the payment vehicle.  This
+subpackage supplies (a) and (b); the POST mechanics live in
+:mod:`repro.core.payment`.
+"""
+
+from repro.httpd.messages import (
+    PaymentPost,
+    Request,
+    RequestState,
+    Response,
+    new_request,
+    reset_request_ids,
+)
+from repro.httpd.server import EmulatedServer, ServerState, ServerStats
+from repro.httpd.download import DownloadModel, DownloadResult
+
+__all__ = [
+    "PaymentPost",
+    "Request",
+    "RequestState",
+    "Response",
+    "new_request",
+    "reset_request_ids",
+    "EmulatedServer",
+    "ServerState",
+    "ServerStats",
+    "DownloadModel",
+    "DownloadResult",
+]

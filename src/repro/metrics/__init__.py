@@ -1,0 +1,24 @@
+"""Metrics: per-run collection, statistical summaries, and text tables."""
+
+from repro.metrics.collector import ClassMetrics, RunResult, collect
+from repro.metrics.summary import (
+    confidence_interval,
+    mean,
+    percentile,
+    stddev,
+    summarise,
+)
+from repro.metrics.tables import format_row, format_table
+
+__all__ = [
+    "ClassMetrics",
+    "RunResult",
+    "collect",
+    "mean",
+    "percentile",
+    "stddev",
+    "confidence_interval",
+    "summarise",
+    "format_table",
+    "format_row",
+]

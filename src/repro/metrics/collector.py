@@ -1,0 +1,209 @@
+"""Turn a finished :class:`~repro.core.frontend.Deployment` run into numbers.
+
+The quantities mirror what the paper's figures report:
+
+* *server allocation* to a class or category — the fraction of served
+  requests (and, separately, of server busy time) that went to it
+  (Figures 2, 3, 6, 7, 8);
+* *fraction of good requests served* (Figures 3 and 8);
+* *payment time* of served good requests (Figure 4);
+* *average price* per served request by class, against the (G+B)/c upper
+  bound (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.summary import Summary, mean, ratio, summarise
+
+
+@dataclass
+class ClassMetrics:
+    """Aggregates over all clients of one class ("good" or "bad")."""
+
+    client_class: str
+    clients: int = 0
+    aggregate_bandwidth_bps: float = 0.0
+    issued: int = 0
+    served: int = 0
+    denied: int = 0
+    dropped: int = 0
+    bytes_paid: float = 0.0
+    payment_time: Summary = field(default_factory=lambda: summarise([]))
+    response_time: Summary = field(default_factory=lambda: summarise([]))
+    mean_price_bytes: float = 0.0
+
+    @property
+    def finished(self) -> int:
+        return self.served + self.denied + self.dropped
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of requests with an outcome that were served."""
+        return ratio(self.served, self.finished)
+
+    @property
+    def demand_served_fraction(self) -> float:
+        """Fraction of *all issued* requests that were served (stricter)."""
+        return ratio(self.served, self.issued)
+
+
+@dataclass
+class RunResult:
+    """Everything the experiments and benchmarks need from one run."""
+
+    duration: float
+    defense: str
+    server_capacity_rps: float
+    good: ClassMetrics
+    bad: ClassMetrics
+    total_served: int = 0
+    server_busy_time: float = 0.0
+    allocation_by_class: Dict[str, float] = field(default_factory=dict)
+    busy_allocation_by_class: Dict[str, float] = field(default_factory=dict)
+    allocation_by_category: Dict[str, float] = field(default_factory=dict)
+    served_by_category: Dict[str, int] = field(default_factory=dict)
+    served_fraction_by_category: Dict[str, float] = field(default_factory=dict)
+    mean_price_by_class: Dict[str, float] = field(default_factory=dict)
+    price_upper_bound_bytes: float = 0.0
+    auctions_held: int = 0
+    free_admissions: int = 0
+    payment_bytes_sunk: float = 0.0
+    good_bandwidth_bps: float = 0.0
+    bad_bandwidth_bps: float = 0.0
+
+    # -- the headline numbers ----------------------------------------------------
+
+    @property
+    def good_allocation(self) -> float:
+        """Fraction of the server allocated to good clients (Figures 2/3)."""
+        return self.allocation_by_class.get("good", 0.0)
+
+    @property
+    def bad_allocation(self) -> float:
+        """Fraction of the server allocated to bad clients."""
+        return self.allocation_by_class.get("bad", 0.0)
+
+    @property
+    def good_fraction_served(self) -> float:
+        """Fraction of good requests that were served (Figure 3's third bar)."""
+        return self.good.served_fraction
+
+    @property
+    def ideal_good_allocation(self) -> float:
+        """The bandwidth-proportional ideal G/(G+B)."""
+        return ratio(self.good_bandwidth_bps, self.good_bandwidth_bps + self.bad_bandwidth_bps)
+
+    @property
+    def server_utilisation(self) -> float:
+        return ratio(self.server_busy_time, self.duration)
+
+    def as_dict(self) -> dict:
+        """Flat dictionary, convenient for printing and JSON dumps."""
+        return {
+            "duration": self.duration,
+            "defense": self.defense,
+            "capacity_rps": self.server_capacity_rps,
+            "good_allocation": self.good_allocation,
+            "bad_allocation": self.bad_allocation,
+            "ideal_good_allocation": self.ideal_good_allocation,
+            "good_fraction_served": self.good_fraction_served,
+            "good_served": self.good.served,
+            "bad_served": self.bad.served,
+            "good_denied": self.good.denied,
+            "mean_payment_time_good": self.good.payment_time.mean,
+            "p90_payment_time_good": self.good.payment_time.p90,
+            "mean_price_good": self.mean_price_by_class.get("good", 0.0),
+            "mean_price_bad": self.mean_price_by_class.get("bad", 0.0),
+            "price_upper_bound": self.price_upper_bound_bytes,
+            "auctions_held": self.auctions_held,
+            "server_utilisation": self.server_utilisation,
+        }
+
+
+def _collect_class(deployment, client_class: str) -> ClassMetrics:
+    clients = deployment.clients_of_class(client_class)
+    metrics = ClassMetrics(client_class=client_class, clients=len(clients))
+    payment_times: List[float] = []
+    response_times: List[float] = []
+    prices: List[float] = []
+    for client in clients:
+        stats = client.stats
+        metrics.aggregate_bandwidth_bps += client.upload_bandwidth_bps
+        metrics.issued += stats.issued
+        metrics.served += stats.served
+        metrics.denied += stats.denied
+        metrics.dropped += stats.dropped
+        metrics.bytes_paid += client.total_bytes_spent()
+        payment_times.extend(stats.payment_times)
+        response_times.extend(stats.response_times)
+        prices.extend(stats.prices)
+    metrics.payment_time = summarise(payment_times)
+    metrics.response_time = summarise(response_times)
+    metrics.mean_price_bytes = mean(prices)
+    return metrics
+
+
+def collect(deployment) -> RunResult:
+    """Build a :class:`RunResult` from a deployment that has finished running."""
+    good = _collect_class(deployment, "good")
+    bad = _collect_class(deployment, "bad")
+    server_stats = deployment.server.stats
+    thinner = deployment.thinner
+
+    good_bw = deployment.aggregate_bandwidth_bps("good")
+    bad_bw = deployment.aggregate_bandwidth_bps("bad")
+    capacity = deployment.config.server_capacity_rps
+    upper_bound = ratio(good_bw + bad_bw, 8.0 * capacity)  # bytes per request
+
+    served_by_category = dict(server_stats.served_by_category)
+    allocation_by_category = server_stats.allocation_by_category()
+
+    served_fraction_by_category: Dict[str, float] = {}
+    issued_by_category: Dict[str, int] = {}
+    finished_by_category: Dict[str, int] = {}
+    for client in deployment.clients:
+        if client.category is None:
+            continue
+        issued_by_category[client.category] = (
+            issued_by_category.get(client.category, 0) + client.stats.issued
+        )
+        finished_by_category[client.category] = (
+            finished_by_category.get(client.category, 0)
+            + client.stats.served
+            + client.stats.denied
+            + client.stats.dropped
+        )
+    for category, finished in finished_by_category.items():
+        served = 0
+        for client in deployment.clients:
+            if client.category == category:
+                served += client.stats.served
+        served_fraction_by_category[category] = ratio(served, finished)
+
+    return RunResult(
+        duration=deployment.duration,
+        defense=deployment.config.defense,
+        server_capacity_rps=capacity,
+        good=good,
+        bad=bad,
+        total_served=server_stats.served,
+        server_busy_time=server_stats.busy_time,
+        allocation_by_class=server_stats.allocation_by_class(),
+        busy_allocation_by_class={
+            cls: ratio(busy, server_stats.busy_time)
+            for cls, busy in server_stats.busy_time_by_class.items()
+        },
+        allocation_by_category=allocation_by_category,
+        served_by_category=served_by_category,
+        served_fraction_by_category=served_fraction_by_category,
+        mean_price_by_class=thinner.prices.average_by_class(),
+        price_upper_bound_bytes=upper_bound,
+        auctions_held=thinner.stats.auctions_held,
+        free_admissions=thinner.stats.free_admissions,
+        payment_bytes_sunk=thinner.stats.payment_bytes_sunk,
+        good_bandwidth_bps=good_bw,
+        bad_bandwidth_bps=bad_bw,
+    )

@@ -1,0 +1,93 @@
+"""Small statistics helpers used by the metrics collector and experiments.
+
+Kept dependency-free (no numpy) so the core library stays importable
+anywhere; the benchmark harness is free to use numpy on top of these.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation; 0.0 for fewer than two values."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((value - mu) ** 2 for value in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]); 0.0 if empty."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def confidence_interval(values: Sequence[float], z: float = 1.96) -> float:
+    """Half-width of the normal-approximation confidence interval of the mean."""
+    if len(values) < 2:
+        return 0.0
+    return z * stddev(values) / math.sqrt(len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / deviation / percentiles of one sample set."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+
+def summarise(values: Sequence[float]) -> Summary:
+    """Full summary of a sample set (empty sets produce all-zero summaries)."""
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stddev=stddev(values),
+        minimum=min(values),
+        maximum=max(values),
+        p50=percentile(values, 0.50),
+        p90=percentile(values, 0.90),
+        p99=percentile(values, 0.99),
+    )
+
+
+def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """A safe division used all over the allocation metrics."""
+    if denominator == 0:
+        return default
+    return numerator / denominator

@@ -1,0 +1,182 @@
+"""Named, seeded random streams.
+
+Every stochastic component of the simulation (client arrival processes,
+server service times, drop decisions of baseline defenses, ...) draws from
+its own named stream derived from a single experiment seed.  This keeps runs
+reproducible and keeps components statistically independent of one another:
+adding a new consumer of randomness never perturbs the draws seen by the
+existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Iterable, Sequence
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a deterministic 64-bit seed for ``name`` from ``root_seed``."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """A named pseudo-random stream with the distributions the sim needs."""
+
+    def __init__(self, root_seed: int, name: str) -> None:
+        self.name = name
+        self.seed = derive_seed(root_seed, name)
+        self._rng = random.Random(self.seed)
+
+    # -- basic draws -------------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform draw in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def random(self) -> float:
+        """Uniform draw in [0, 1)."""
+        return self._rng.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer draw in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def choice(self, items: Sequence):
+        """Uniformly pick one element of ``items``."""
+        if not items:
+            raise IndexError("cannot choose from an empty sequence")
+        return self._rng.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    def sample(self, items: Sequence, k: int) -> list:
+        """Sample ``k`` distinct elements from ``items``."""
+        return self._rng.sample(items, k)
+
+    # -- distributions used by the paper's workload model -------------------
+
+    def exponential(self, rate: float) -> float:
+        """Exponential inter-arrival time for a Poisson process of ``rate``/s."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        return self._rng.expovariate(rate)
+
+    def service_time(self, capacity: float, jitter: float = 0.1) -> float:
+        """Service time uniform in [(1-jitter)/c, (1+jitter)/c] (paper section 6)."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        mean = 1.0 / capacity
+        return self._rng.uniform((1.0 - jitter) * mean, (1.0 + jitter) * mean)
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self._rng.random() < probability
+
+    def pareto(self, shape: float, scale: float) -> float:
+        """Pareto draw (used for synthetic heavy-tailed request difficulty)."""
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        return scale * (1.0 / (1.0 - self._rng.random())) ** (1.0 / shape)
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        """Log-normal draw (alternative request-difficulty model)."""
+        return self._rng.lognormvariate(mean, sigma)
+
+    def poisson_arrivals(self, rate: float, duration: float) -> list[float]:
+        """Materialise a Poisson arrival process on [0, duration)."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        arrivals: list[float] = []
+        t = 0.0
+        while True:
+            t += self.exponential(rate)
+            if t >= duration:
+                break
+            arrivals.append(t)
+        return arrivals
+
+
+class StreamFactory:
+    """Creates :class:`RandomStream` objects that all derive from one seed."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: dict[str, RandomStream] = {}
+
+    def stream(self, name: str) -> RandomStream:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = RandomStream(self.root_seed, name)
+        return self._streams[name]
+
+    def streams(self, names: Iterable[str]) -> list[RandomStream]:
+        """Return (creating as needed) one stream per name."""
+        return [self.stream(name) for name in names]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+
+def deterministic_jitter(identity: str, spread: float) -> float:
+    """A deterministic pseudo-jitter in [0, spread) derived from ``identity``.
+
+    Useful when a component needs stable but distinct per-entity offsets
+    (e.g. staggering client start times) without consuming stream state.
+    """
+    if spread < 0:
+        raise ValueError("spread must be non-negative")
+    digest = hashlib.sha256(identity.encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return fraction * spread
+
+
+def halton(index: int, base: int = 2) -> float:
+    """Low-discrepancy Halton value, used to place heterogeneous categories."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    if base < 2:
+        raise ValueError("base must be >= 2")
+    result = 0.0
+    f = 1.0
+    i = index + 1
+    while i > 0:
+        f /= base
+        result += f * (i % base)
+        i //= base
+    return result
+
+
+def spread_points(count: int, low: float, high: float) -> list[float]:
+    """Deterministically spread ``count`` points across [low, high]."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+    if count == 1:
+        return [(low + high) / 2.0]
+    step = (high - low) / (count - 1)
+    return [low + i * step for i in range(count)]
+
+
+def geometric_levels(count: int, low: float, high: float) -> list[float]:
+    """Deterministic geometric progression of ``count`` values in [low, high]."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if low <= 0 or high <= 0:
+        raise ValueError("bounds must be positive")
+    if count == 1:
+        return [math.sqrt(low * high)]
+    ratio = (high / low) ** (1.0 / (count - 1))
+    return [low * ratio**i for i in range(count)]

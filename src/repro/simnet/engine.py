@@ -1,0 +1,206 @@
+"""Discrete-event simulation engine.
+
+The engine maintains a priority queue of events keyed by simulated time and
+a monotonically increasing sequence number (so that events scheduled for the
+same instant fire in scheduling order, which keeps runs deterministic).
+Everything else in the package — flows completing, auctions firing, clients
+issuing requests — is expressed as engine events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Engine.schedule_at` and
+    :meth:`Engine.schedule_after` so the caller can cancel them later.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, {state})"
+
+
+class Engine:
+    """A deterministic discrete-event engine with a simulated clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable, *args, **kwargs) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at t={time:.6f}, which is before now={self._now:.6f}"
+            )
+        event = Event(time, self._seq, callback, args, kwargs)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable, *args, **kwargs) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def call_soon(self, callback: Callable, *args, **kwargs) -> Event:
+        """Schedule ``callback`` at the current simulated time."""
+        return self.schedule_at(self._now, callback, *args, **kwargs)
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self._events_processed += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulated time at which the run stopped.  When ``until``
+        is given, the clock is advanced to exactly ``until`` even if the last
+        event fired earlier, so back-to-back ``run`` calls compose naturally.
+        """
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_event = self._queue[0]
+                if next_event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and next_event.time > until:
+                    break
+                if self.step():
+                    fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def drain(self) -> int:
+        """Run every remaining event; return how many fired."""
+        fired = 0
+        while self.step():
+            fired += 1
+        return fired
+
+    # -- periodic helpers --------------------------------------------------------
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable,
+        *args,
+        start_after: Optional[float] = None,
+        **kwargs,
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds until cancelled."""
+        if interval <= 0:
+            raise SchedulingError(f"interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, args, kwargs)
+        first = interval if start_after is None else start_after
+        task._arm(first)
+        return task
+
+
+class PeriodicTask:
+    """A repeating event created by :meth:`Engine.schedule_every`."""
+
+    def __init__(self, engine: Engine, interval: float, callback: Callable, args: tuple, kwargs: dict):
+        self._engine = engine
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._kwargs = kwargs
+        self._event: Optional[Event] = None
+        self.cancelled = False
+        self.fire_count = 0
+
+    def _arm(self, delay: float) -> None:
+        self._event = self._engine.schedule_after(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fire_count += 1
+        self._callback(*self._args, **self._kwargs)
+        if not self.cancelled:
+            self._arm(self.interval)
+
+    def cancel(self) -> None:
+        """Stop the periodic task."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()

@@ -1,0 +1,146 @@
+"""Flows: fluid byte transfers across a path of directed links.
+
+A flow models one direction of one transport connection (a payment POST, a
+request upload, an HTTP response body).  The :class:`~repro.simnet.network.
+FluidNetwork` assigns each active flow a rate (max-min fair share, further
+limited by the flow's own rate cap, which the slow-start model adjusts) and
+integrates delivered bytes whenever rates change.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import FlowError
+from repro.simnet.host import Host
+from repro.simnet.link import Link, path_delay
+
+
+class FlowState(enum.Enum):
+    """Lifecycle of a flow."""
+
+    CREATED = "created"
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    STOPPED = "stopped"
+
+
+_flow_ids = itertools.count(1)
+
+
+class Flow:
+    """A unidirectional fluid transfer from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoints.  Only used for bookkeeping and tracing; the constraint set
+        is ``path``.
+    path:
+        The directed links the flow crosses, in order.
+    size_bytes:
+        Total bytes to transfer, or ``None`` for an unbounded flow (e.g. the
+        aggressive-retry stream of §3.2) that runs until explicitly stopped.
+    rate_cap_bps:
+        An upper bound on the flow's rate in addition to fair sharing;
+        the TCP slow-start ramp raises this over time.
+    label:
+        Free-form tag used by traces and metrics (e.g. ``"payment"``).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "path",
+        "size_bytes",
+        "delivered_bytes",
+        "rate_bps",
+        "rate_cap_bps",
+        "label",
+        "state",
+        "started_at",
+        "finished_at",
+        "on_complete",
+        "on_rate_change",
+        "_last_integration",
+        "_completion_event",
+        "owner",
+    )
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        path: list[Link],
+        size_bytes: Optional[float] = None,
+        rate_cap_bps: Optional[float] = None,
+        label: str = "flow",
+        on_complete: Optional[Callable[["Flow"], None]] = None,
+    ) -> None:
+        if not path:
+            raise FlowError("a flow needs a non-empty path")
+        if size_bytes is not None and size_bytes <= 0:
+            raise FlowError(f"size_bytes must be positive or None, got {size_bytes}")
+        if rate_cap_bps is not None and rate_cap_bps <= 0:
+            raise FlowError(f"rate_cap_bps must be positive or None, got {rate_cap_bps}")
+        self.flow_id = next(_flow_ids)
+        self.src = src
+        self.dst = dst
+        self.path = list(path)
+        self.size_bytes = size_bytes
+        self.delivered_bytes = 0.0
+        self.rate_bps = 0.0
+        self.rate_cap_bps = rate_cap_bps
+        self.label = label
+        self.state = FlowState.CREATED
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.on_complete = on_complete
+        self.on_rate_change: Optional[Callable[["Flow"], None]] = None
+        self._last_integration: float = 0.0
+        self._completion_event = None
+        #: Arbitrary back-reference for higher layers (e.g. the payment
+        #: channel that owns this flow).
+        self.owner = None
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """True while the network is allocating bandwidth to this flow."""
+        return self.state == FlowState.ACTIVE
+
+    @property
+    def is_bounded(self) -> bool:
+        """True if the flow has a fixed number of bytes to transfer."""
+        return self.size_bytes is not None
+
+    @property
+    def remaining_bytes(self) -> Optional[float]:
+        """Bytes left to deliver, or None for an unbounded flow."""
+        if self.size_bytes is None:
+            return None
+        return max(0.0, self.size_bytes - self.delivered_bytes)
+
+    @property
+    def one_way_delay(self) -> float:
+        """Propagation delay along the flow's path plus host-attributed delay."""
+        return path_delay(self.path) + self.src.extra_delay_s + self.dst.extra_delay_s
+
+    def effective_cap(self) -> float:
+        """The flow's own rate ceiling (infinite when uncapped)."""
+        return self.rate_cap_bps if self.rate_cap_bps is not None else float("inf")
+
+    def uses_link(self, link: Link) -> bool:
+        """True if the flow's path crosses ``link``."""
+        return link in self.path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        size = "unbounded" if self.size_bytes is None else f"{self.size_bytes:.0f}B"
+        return (
+            f"Flow(#{self.flow_id} {self.label} {self.src.name}->{self.dst.name} "
+            f"{size} {self.state.value} rate={self.rate_bps / 1e6:.3f}Mbit/s)"
+        )

@@ -1,0 +1,83 @@
+"""Hosts: endpoints with access links.
+
+A host owns a duplex access link.  The topology decides what sits between a
+host's access link and its peer's access link (nothing for a LAN, a shared
+bottleneck cable for the §7.6/§7.7 topologies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TopologyError
+from repro.simnet.link import DuplexLink, Link
+
+
+class Host:
+    """A network endpoint (client, thinner, web server, ...)."""
+
+    __slots__ = ("name", "access", "kind", "extra_delay_s")
+
+    def __init__(
+        self,
+        name: str,
+        access: DuplexLink,
+        kind: str = "host",
+        extra_delay_s: float = 0.0,
+    ) -> None:
+        if extra_delay_s < 0:
+            raise TopologyError(f"host {name!r}: extra delay must be non-negative")
+        self.name = name
+        self.access = access
+        self.kind = kind
+        #: Additional one-way delay attributed to the host itself (used by the
+        #: RTT-heterogeneity experiment, Figure 7).
+        self.extra_delay_s = extra_delay_s
+
+    @property
+    def uplink(self) -> Link:
+        """Directed access link carrying traffic from this host into the network."""
+        return self.access.up
+
+    @property
+    def downlink(self) -> Link:
+        """Directed access link carrying traffic from the network to this host."""
+        return self.access.down
+
+    @property
+    def upload_capacity_bps(self) -> float:
+        """The host's upload bandwidth — its speak-up 'wealth'."""
+        return self.access.up.capacity_bps
+
+    @property
+    def download_capacity_bps(self) -> float:
+        """The host's download bandwidth."""
+        return self.access.down.capacity_bps
+
+    def one_way_delay_to_access(self) -> float:
+        """One-way delay from the host to the far end of its access link."""
+        return self.access.delay_s + self.extra_delay_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Host({self.name!r}, kind={self.kind!r}, "
+            f"up={self.upload_capacity_bps / 1e6:.2f} Mbit/s)"
+        )
+
+
+def make_host(
+    name: str,
+    upload_bps: float,
+    download_bps: Optional[float] = None,
+    delay_s: float = 0.0,
+    kind: str = "host",
+    extra_delay_s: float = 0.0,
+) -> Host:
+    """Convenience constructor building the access link along with the host."""
+    access = DuplexLink(
+        f"{name}.access",
+        capacity_bps=upload_bps,
+        delay_s=delay_s,
+        down_capacity_bps=download_bps if download_bps is not None else upload_bps,
+    )
+    return Host(name, access, kind=kind, extra_delay_s=extra_delay_s)

@@ -1,0 +1,107 @@
+"""Links: unidirectional fluid capacity constraints with propagation delay.
+
+The fluid model treats a link as a capacity that concurrent flows share
+(max-min fairly, computed in :mod:`repro.simnet.bandwidth`) plus a one-way
+propagation delay that contributes to round-trip times.  A physical cable is
+represented by a :class:`DuplexLink`, which is simply a pair of directed
+:class:`Link` objects, because upload and download contention are independent
+in all of the paper's experiments (e.g. §7.7's bottleneck is congested in the
+upload direction by payment traffic while the download direction carries the
+victim transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TopologyError
+
+
+class Link:
+    """A single directed link with a capacity in bits/s and a one-way delay."""
+
+    __slots__ = ("name", "capacity_bps", "delay_s", "buffer_bytes", "_flow_count")
+
+    #: Default drop-tail buffer, sized like a small home-router queue.  Only
+    #: the cross-traffic model (Figure 9) consults it.
+    DEFAULT_BUFFER_BYTES = 75_000
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bps: float,
+        delay_s: float = 0.0,
+        buffer_bytes: Optional[float] = None,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise TopologyError(f"link {name!r}: capacity must be positive, got {capacity_bps}")
+        if delay_s < 0:
+            raise TopologyError(f"link {name!r}: delay must be non-negative, got {delay_s}")
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        self.delay_s = float(delay_s)
+        self.buffer_bytes = float(buffer_bytes if buffer_bytes is not None else self.DEFAULT_BUFFER_BYTES)
+        self._flow_count = 0
+
+    @property
+    def flow_count(self) -> int:
+        """Number of active flows currently crossing this link."""
+        return self._flow_count
+
+    def max_queueing_delay(self) -> float:
+        """Worst-case drop-tail queueing delay (full buffer drained at capacity)."""
+        return (self.buffer_bytes * 8.0) / self.capacity_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name!r}, {self.capacity_bps / 1e6:.3f} Mbit/s, "
+            f"{self.delay_s * 1e3:.1f} ms)"
+        )
+
+
+class DuplexLink:
+    """A bidirectional link: independent :class:`Link` objects per direction."""
+
+    __slots__ = ("name", "up", "down")
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bps: float,
+        delay_s: float = 0.0,
+        down_capacity_bps: Optional[float] = None,
+        buffer_bytes: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.up = Link(f"{name}.up", capacity_bps, delay_s, buffer_bytes)
+        self.down = Link(
+            f"{name}.down",
+            down_capacity_bps if down_capacity_bps is not None else capacity_bps,
+            delay_s,
+            buffer_bytes,
+        )
+
+    @property
+    def delay_s(self) -> float:
+        """One-way propagation delay of the cable."""
+        return self.up.delay_s
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip contribution of this cable alone."""
+        return self.up.delay_s + self.down.delay_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DuplexLink({self.name!r}, up={self.up.capacity_bps / 1e6:.3f} Mbit/s)"
+
+
+def path_delay(links: list[Link]) -> float:
+    """One-way propagation delay along a list of directed links."""
+    return sum(link.delay_s for link in links)
+
+
+def path_min_capacity(links: list[Link]) -> float:
+    """The narrowest capacity along a path (the most a single flow could get)."""
+    if not links:
+        raise TopologyError("path must contain at least one link")
+    return min(link.capacity_bps for link in links)

@@ -1,0 +1,412 @@
+"""The fluid network: flow lifecycle, rate allocation, byte integration.
+
+:class:`FluidNetwork` owns the set of active flows.  Whenever that set (or a
+flow's private rate cap) changes, it re-shares bandwidth and reschedules the
+completion events of the flows whose rates changed.  Delivered bytes are
+integrated lazily, per flow, under piecewise-constant rates (which makes the
+integration exact).
+
+Reallocation is *component-restricted*: most changes (a payment POST
+finishing on one client's uplink, say) can only affect the rates of flows
+that share a potentially-saturated link with the changed flow, directly or
+transitively.  The network therefore keeps, per link, the "potential load" —
+the sum of its flows' static rate bounds (each flow's narrowest path link
+combined with its private cap).  A link whose capacity covers its potential
+load can never saturate and never constrains anyone, so the search for
+affected flows only crosses links whose potential load exceeds capacity.
+Rates for the affected component are then recomputed with progressive
+filling (:func:`repro.simnet.bandwidth.waterfill`); everything outside the
+component keeps its previous, still-valid rate.  The brute-force global
+computation (:func:`repro.simnet.bandwidth.max_min_fair_rates`) remains
+available both as a reference for the property-based tests and as a
+``incremental=False`` escape hatch.
+
+Propagation delays are *not* folded into byte accounting — they are exposed
+via :meth:`FluidNetwork.rtt` and the higher layers (thinner, clients, HTTP
+download model) account for them explicitly where the paper's evaluation
+does (encouragement latency, quiescent periods, auction responses).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FlowError
+from repro.simnet.bandwidth import RATE_EPSILON, max_min_fair_rates, waterfill
+from repro.simnet.engine import Engine
+from repro.simnet.flow import Flow, FlowState
+from repro.simnet.host import Host
+from repro.simnet.link import Link
+from repro.simnet.topology import Topology
+from repro.simnet.trace import Tracer
+
+#: Completion is declared when fewer than this many bytes remain; guards
+#: against floating-point residue keeping a flow alive forever.
+BYTES_EPSILON = 1e-6
+
+#: Slack used when comparing a link's potential load against its capacity.
+_CAPACITY_SLACK = 1e-6
+
+
+class FluidNetwork:
+    """Fluid-flow network simulator bound to an :class:`Engine` and a topology."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        tracer: Optional[Tracer] = None,
+        incremental: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.tracer = tracer
+        #: When False, every change triggers a global recomputation (slower,
+        #: used as a cross-check in tests).
+        self.incremental = incremental
+
+        self._active: Dict[Flow, None] = {}
+        self._link_flows: Dict[Link, Dict[Flow, None]] = {}
+        self._potential_load: Dict[Link, float] = {}
+        self._bounds: Dict[Flow, float] = {}
+
+        self.total_delivered_bytes = 0.0
+        self.completed_flows = 0
+        self.stopped_flows = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        """Flows currently being allocated bandwidth (a copy)."""
+        return list(self._active)
+
+    def active_flow_count(self) -> int:
+        """Number of currently active flows."""
+        return len(self._active)
+
+    def rtt(self, a: Host, b: Host) -> float:
+        """Round-trip propagation delay between two hosts."""
+        return self.topology.rtt(a, b)
+
+    # -- flow construction -------------------------------------------------------
+
+    def create_flow(
+        self,
+        src: Host,
+        dst: Host,
+        size_bytes: Optional[float] = None,
+        rate_cap_bps: Optional[float] = None,
+        label: str = "flow",
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ) -> Flow:
+        """Build (but do not start) a flow routed by the topology."""
+        path = self.topology.path(src, dst)
+        return Flow(
+            src,
+            dst,
+            path,
+            size_bytes=size_bytes,
+            rate_cap_bps=rate_cap_bps,
+            label=label,
+            on_complete=on_complete,
+        )
+
+    # -- flow lifecycle ------------------------------------------------------------
+
+    def start_flow(self, flow: Flow) -> Flow:
+        """Activate ``flow`` and re-share bandwidth."""
+        if flow.state == FlowState.ACTIVE:
+            raise FlowError(f"flow {flow.flow_id} is already active")
+        if flow.state in (FlowState.COMPLETED, FlowState.STOPPED):
+            raise FlowError(f"flow {flow.flow_id} has already finished ({flow.state.value})")
+        flow.state = FlowState.ACTIVE
+        flow.started_at = self.engine.now
+        flow._last_integration = self.engine.now
+
+        pre_constraining = self._constraining_snapshot(flow.path)
+        self._attach(flow)
+        if self.tracer is not None:
+            self.tracer.record(
+                "flow_start",
+                time=self.engine.now,
+                flow_id=flow.flow_id,
+                label=flow.label,
+                src=flow.src.name,
+                dst=flow.dst.name,
+                size=flow.size_bytes,
+            )
+        self._reallocate(flow, pre_constraining)
+        return flow
+
+    def send(
+        self,
+        src: Host,
+        dst: Host,
+        size_bytes: Optional[float] = None,
+        rate_cap_bps: Optional[float] = None,
+        label: str = "flow",
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ) -> Flow:
+        """Create and immediately start a flow."""
+        flow = self.create_flow(
+            src,
+            dst,
+            size_bytes=size_bytes,
+            rate_cap_bps=rate_cap_bps,
+            label=label,
+            on_complete=on_complete,
+        )
+        return self.start_flow(flow)
+
+    def stop_flow(self, flow: Flow) -> float:
+        """Deactivate ``flow`` (e.g. the auction winner's payment channel).
+
+        Returns the bytes it delivered.  Stopping an already-finished flow is
+        a no-op so callers do not need to worry about races with completion.
+        """
+        if flow.state != FlowState.ACTIVE:
+            return flow.delivered_bytes
+        self._integrate(flow)
+        pre_constraining = self._constraining_snapshot(flow.path)
+        self._detach(flow, FlowState.STOPPED)
+        self.stopped_flows += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                "flow_stop",
+                time=self.engine.now,
+                flow_id=flow.flow_id,
+                label=flow.label,
+                delivered=flow.delivered_bytes,
+            )
+        self._reallocate(None, pre_constraining, extra_links=flow.path)
+        return flow.delivered_bytes
+
+    def set_rate_cap(self, flow: Flow, rate_cap_bps: Optional[float]) -> None:
+        """Change a flow's private rate ceiling (slow-start ramp) and re-share."""
+        if rate_cap_bps is not None and rate_cap_bps <= 0:
+            raise FlowError(f"rate cap must be positive or None, got {rate_cap_bps}")
+        if flow.rate_cap_bps == rate_cap_bps:
+            return
+        flow.rate_cap_bps = rate_cap_bps
+        if flow.state != FlowState.ACTIVE:
+            return
+        pre_constraining = self._constraining_snapshot(flow.path)
+        old_bound = self._bounds[flow]
+        new_bound = self._static_bound(flow)
+        if new_bound != old_bound:
+            self._bounds[flow] = new_bound
+            for link in flow.path:
+                self._potential_load[link] += new_bound - old_bound
+        self._reallocate(flow, pre_constraining)
+
+    def sync(self) -> None:
+        """Bring every active flow's ``delivered_bytes`` up to the current time."""
+        for flow in self._active:
+            self._integrate(flow)
+
+    def delivered_bytes(self, flow: Flow) -> float:
+        """Delivered bytes of ``flow`` as of now (integrating if still active)."""
+        if flow.state == FlowState.ACTIVE:
+            self._integrate(flow)
+        return flow.delivered_bytes
+
+    # -- bookkeeping internals ------------------------------------------------------
+
+    def _static_bound(self, flow: Flow) -> float:
+        bound = min(link.capacity_bps for link in flow.path)
+        return min(bound, flow.effective_cap())
+
+    def _attach(self, flow: Flow) -> None:
+        self._active[flow] = None
+        bound = self._static_bound(flow)
+        self._bounds[flow] = bound
+        for link in flow.path:
+            self._link_flows.setdefault(link, {})[flow] = None
+            self._potential_load[link] = self._potential_load.get(link, 0.0) + bound
+            link._flow_count += 1
+
+    def _detach(self, flow: Flow, final_state: FlowState) -> None:
+        self._active.pop(flow, None)
+        bound = self._bounds.pop(flow, 0.0)
+        for link in flow.path:
+            flows_on_link = self._link_flows.get(link)
+            if flows_on_link is not None:
+                flows_on_link.pop(flow, None)
+                if not flows_on_link:
+                    del self._link_flows[link]
+            self._potential_load[link] = self._potential_load.get(link, 0.0) - bound
+            if self._potential_load[link] <= _CAPACITY_SLACK:
+                self._potential_load.pop(link, None)
+            link._flow_count -= 1
+        flow.state = final_state
+        flow.finished_at = self.engine.now
+        flow.rate_bps = 0.0
+        if flow._completion_event is not None:
+            flow._completion_event.cancel()
+            flow._completion_event = None
+
+    def _integrate(self, flow: Flow) -> None:
+        now = self.engine.now
+        dt = now - flow._last_integration
+        if dt > 0 and flow.rate_bps > 0:
+            delivered = flow.rate_bps * dt / 8.0
+            if flow.size_bytes is not None:
+                remaining = flow.size_bytes - flow.delivered_bytes
+                if delivered > remaining:
+                    delivered = remaining
+            flow.delivered_bytes += delivered
+            self.total_delivered_bytes += delivered
+        flow._last_integration = now
+
+    def _is_constraining(self, link: Link) -> bool:
+        return self._potential_load.get(link, 0.0) > link.capacity_bps + _CAPACITY_SLACK
+
+    def _constraining_snapshot(self, links) -> Dict[Link, bool]:
+        return {link: self._is_constraining(link) for link in links}
+
+    # -- reallocation --------------------------------------------------------------------
+
+    def _reallocate(
+        self,
+        changed_flow: Optional[Flow],
+        pre_constraining: Dict[Link, bool],
+        extra_links: Optional[List[Link]] = None,
+    ) -> None:
+        if not self.incremental:
+            self._apply_rates(list(self._active), max_min_fair_rates(list(self._active)))
+            return
+
+        # Seed the affected component with every path link that constrains
+        # traffic either before or after the change.
+        seed: List[Link] = []
+        seen = set()
+        candidate_links = list(pre_constraining) + list(extra_links or [])
+        for link in candidate_links:
+            if id(link) in seen:
+                continue
+            seen.add(id(link))
+            if pre_constraining.get(link, False) or self._is_constraining(link):
+                seed.append(link)
+
+        component = self._component(seed)
+        if changed_flow is not None and changed_flow.state == FlowState.ACTIVE:
+            if changed_flow not in component:
+                component[changed_flow] = None
+        if not component:
+            return
+
+        flows = list(component)
+        constraint_links: List[Link] = []
+        constraint_seen = set()
+        for flow in flows:
+            for link in flow.path:
+                if id(link) not in constraint_seen and self._is_constraining(link):
+                    constraint_seen.add(id(link))
+                    constraint_links.append(link)
+
+        effective_caps: Dict[Flow, float] = {}
+        for flow in flows:
+            cap = flow.effective_cap()
+            for link in flow.path:
+                if id(link) not in constraint_seen:
+                    cap = min(cap, link.capacity_bps)
+            effective_caps[flow] = cap
+
+        rates = waterfill(flows, constraint_links, effective_caps)
+        self._apply_rates(flows, rates)
+
+    def _component(self, seed_links: List[Link]) -> Dict[Flow, None]:
+        component: Dict[Flow, None] = {}
+        visited = {id(link) for link in seed_links}
+        frontier = list(seed_links)
+        while frontier:
+            next_frontier: List[Link] = []
+            for link in frontier:
+                for flow in self._link_flows.get(link, {}):
+                    if flow in component:
+                        continue
+                    component[flow] = None
+                    for other in flow.path:
+                        if id(other) not in visited and self._is_constraining(other):
+                            visited.add(id(other))
+                            next_frontier.append(other)
+            frontier = next_frontier
+        return component
+
+    def _apply_rates(self, flows: List[Flow], rates: Dict[Flow, float]) -> None:
+        for flow in flows:
+            new_rate = rates.get(flow, 0.0)
+            changed = abs(new_rate - flow.rate_bps) > RATE_EPSILON
+            if changed:
+                # Settle what was delivered at the old rate before switching.
+                self._integrate(flow)
+                flow.rate_bps = new_rate
+                if flow.on_rate_change is not None:
+                    flow.on_rate_change(flow)
+            # A flow whose rate did not change keeps its completion event:
+            # with a constant rate the absolute completion time is unchanged.
+            if changed or (flow.is_bounded and flow._completion_event is None):
+                self._reschedule_completion(flow)
+
+    def _reschedule_completion(self, flow: Flow) -> None:
+        if flow._completion_event is not None:
+            flow._completion_event.cancel()
+            flow._completion_event = None
+        if not flow.is_bounded or flow.state != FlowState.ACTIVE:
+            return
+        remaining = flow.size_bytes - flow.delivered_bytes
+        if remaining <= BYTES_EPSILON:
+            # Completed exactly at this instant; finish via an immediate event
+            # so the caller of the triggering operation returns first.
+            flow._completion_event = self.engine.call_soon(self._complete, flow)
+        elif flow.rate_bps > RATE_EPSILON:
+            eta = remaining * 8.0 / flow.rate_bps
+            flow._completion_event = self.engine.schedule_after(eta, self._complete, flow)
+
+    def _complete(self, flow: Flow) -> None:
+        if flow.state != FlowState.ACTIVE:
+            return
+        self._integrate(flow)
+        remaining = (flow.size_bytes or 0.0) - flow.delivered_bytes
+        if remaining > BYTES_EPSILON:
+            # Rates changed between scheduling and firing; the reallocation
+            # that changed them already rescheduled us, so just bail out.
+            return
+        flow.delivered_bytes = float(flow.size_bytes)
+        pre_constraining = self._constraining_snapshot(flow.path)
+        self._detach(flow, FlowState.COMPLETED)
+        self.completed_flows += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                "flow_complete",
+                time=self.engine.now,
+                flow_id=flow.flow_id,
+                label=flow.label,
+                delivered=flow.delivered_bytes,
+            )
+        self._reallocate(None, pre_constraining, extra_links=flow.path)
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+
+    # -- aggregate statistics ----------------------------------------------------------
+
+    def aggregate_rate_bps(self, predicate: Optional[Callable[[Flow], bool]] = None) -> float:
+        """Sum of current rates over active flows matching ``predicate``."""
+        total = 0.0
+        for flow in self._active:
+            if predicate is None or predicate(flow):
+                total += flow.rate_bps
+        return total
+
+    def flows_on(self, link: Link) -> List[Flow]:
+        """Active flows whose path crosses ``link``."""
+        return list(self._link_flows.get(link, {}))
+
+    def link_load_bps(self, link: Link) -> float:
+        """Aggregate rate currently crossing ``link``."""
+        return sum(flow.rate_bps for flow in self._link_flows.get(link, {}))
+
+    def link_utilisation(self, link: Link) -> float:
+        """Fraction of ``link``'s capacity in use right now."""
+        return self.link_load_bps(link) / link.capacity_bps

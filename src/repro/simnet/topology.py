@@ -1,0 +1,247 @@
+"""Topologies: how hosts reach each other.
+
+Every topology in the paper's evaluation is a star: clients and the thinner
+hang off a core switch, possibly with a shared cable (the bottleneck ``l`` of
+§7.6 or ``m`` of §7.7) between a group of clients and the switch.  We model
+exactly that: each host attaches to the core either directly or through a
+chain of :class:`~repro.simnet.link.DuplexLink` objects, and the path between
+two hosts is "up through the source's chain, down through the destination's".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.constants import MBIT, milliseconds
+from repro.errors import TopologyError
+from repro.simnet.host import Host, make_host
+from repro.simnet.link import DuplexLink, Link
+
+
+class Topology:
+    """A star topology with optional shared cables between hosts and the core."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._hosts: Dict[str, Host] = {}
+        self._via: Dict[str, List[DuplexLink]] = {}
+        self._shared: Dict[str, DuplexLink] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_shared_link(self, link: DuplexLink) -> DuplexLink:
+        """Register a shared cable so it can be referenced by name."""
+        if link.name in self._shared:
+            raise TopologyError(f"shared link {link.name!r} already exists")
+        self._shared[link.name] = link
+        return link
+
+    def add_host(self, host: Host, via: Optional[Sequence[DuplexLink]] = None) -> Host:
+        """Attach ``host`` to the core, optionally through shared cables."""
+        if host.name in self._hosts:
+            raise TopologyError(f"host {host.name!r} already exists")
+        self._hosts[host.name] = host
+        chain = list(via) if via else []
+        for link in chain:
+            if link.name not in self._shared:
+                self._shared[link.name] = link
+        self._via[host.name] = chain
+        return host
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[Host]:
+        """All hosts, in insertion order."""
+        return list(self._hosts.values())
+
+    @property
+    def shared_links(self) -> List[DuplexLink]:
+        """All shared cables, in insertion order."""
+        return list(self._shared.values())
+
+    def host(self, name: str) -> Host:
+        """Look a host up by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise TopologyError(f"unknown host {name!r}") from None
+
+    def shared_link(self, name: str) -> DuplexLink:
+        """Look a shared cable up by name."""
+        try:
+            return self._shared[name]
+        except KeyError:
+            raise TopologyError(f"unknown shared link {name!r}") from None
+
+    def __contains__(self, host: Host) -> bool:
+        return host.name in self._hosts and self._hosts[host.name] is host
+
+    # -- routing -----------------------------------------------------------------
+
+    def upstream_links(self, host: Host) -> List[Link]:
+        """Directed links from ``host`` to the core (access uplink first)."""
+        self._check(host)
+        return [host.access.up] + [cable.up for cable in self._via[host.name]]
+
+    def downstream_links(self, host: Host) -> List[Link]:
+        """Directed links from the core to ``host`` (access downlink last)."""
+        self._check(host)
+        return [cable.down for cable in reversed(self._via[host.name])] + [host.access.down]
+
+    def path(self, src: Host, dst: Host) -> List[Link]:
+        """Directed links a flow from ``src`` to ``dst`` crosses."""
+        if src is dst:
+            raise TopologyError(f"flow endpoints must differ (got {src.name!r} twice)")
+        return self.upstream_links(src) + self.downstream_links(dst)
+
+    def one_way_delay(self, src: Host, dst: Host) -> float:
+        """Propagation delay from ``src`` to ``dst``, including host-attributed delay."""
+        links = self.path(src, dst)
+        return sum(link.delay_s for link in links) + src.extra_delay_s + dst.extra_delay_s
+
+    def rtt(self, a: Host, b: Host) -> float:
+        """Round-trip propagation delay between two hosts."""
+        return self.one_way_delay(a, b) + self.one_way_delay(b, a)
+
+    def _check(self, host: Host) -> None:
+        if host.name not in self._hosts or self._hosts[host.name] is not host:
+            raise TopologyError(f"host {host.name!r} is not part of topology {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.name!r}, hosts={len(self._hosts)}, shared={len(self._shared)})"
+
+
+# ---------------------------------------------------------------------------
+# Builders matching the paper's Emulab setups
+# ---------------------------------------------------------------------------
+
+#: Default capacity of the thinner's access link: generous, per condition C1
+#: ("the thinner needs enough bandwidth to absorb a full DDoS attack and
+#: more", §4.3), and deliberately far above any aggregate client bandwidth in
+#: the evaluation topologies so the thinner's own link never bottlenecks.
+DEFAULT_THINNER_BANDWIDTH = 10_000 * MBIT
+
+#: Default one-way delay of a LAN hop in the evaluation topologies.
+DEFAULT_LAN_DELAY = milliseconds(1.0)
+
+
+def build_lan(
+    client_bandwidths_bps: Sequence[float],
+    client_delays_s: Optional[Sequence[float]] = None,
+    thinner_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    lan_delay_s: float = DEFAULT_LAN_DELAY,
+    name: str = "lan",
+) -> Tuple[Topology, List[Host], Host]:
+    """The §7.2–§7.5 topology: N clients and the thinner on one LAN.
+
+    ``client_delays_s`` gives each client's one-way host-attributed delay
+    (used by the RTT-heterogeneity experiment, Figure 7); it defaults to zero
+    extra delay beyond the LAN hop.
+    """
+    count = len(client_bandwidths_bps)
+    if count == 0:
+        raise TopologyError("need at least one client")
+    if client_delays_s is not None and len(client_delays_s) != count:
+        raise TopologyError("client_delays_s must match client_bandwidths_bps in length")
+
+    topology = Topology(name)
+    thinner = make_host("thinner", thinner_bandwidth_bps, delay_s=lan_delay_s, kind="thinner")
+    topology.add_host(thinner)
+
+    clients: List[Host] = []
+    for index, bandwidth in enumerate(client_bandwidths_bps):
+        extra = client_delays_s[index] if client_delays_s is not None else 0.0
+        client = make_host(
+            f"client-{index:03d}",
+            upload_bps=bandwidth,
+            delay_s=lan_delay_s,
+            kind="client",
+            extra_delay_s=extra,
+        )
+        topology.add_host(client)
+        clients.append(client)
+    return topology, clients, thinner
+
+
+def build_bottleneck(
+    bottlenecked_bandwidths_bps: Sequence[float],
+    direct_bandwidths_bps: Sequence[float],
+    bottleneck_bandwidth_bps: float,
+    bottleneck_delay_s: float = DEFAULT_LAN_DELAY,
+    thinner_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    lan_delay_s: float = DEFAULT_LAN_DELAY,
+    name: str = "bottleneck",
+) -> Tuple[Topology, List[Host], List[Host], Host, DuplexLink]:
+    """The §7.6 topology: some clients reach the thinner through shared cable ``l``.
+
+    Returns ``(topology, bottlenecked_clients, direct_clients, thinner, l)``.
+    """
+    topology = Topology(name)
+    thinner = make_host("thinner", thinner_bandwidth_bps, delay_s=lan_delay_s, kind="thinner")
+    topology.add_host(thinner)
+
+    shared = DuplexLink("l", bottleneck_bandwidth_bps, delay_s=bottleneck_delay_s)
+    topology.add_shared_link(shared)
+
+    bottlenecked: List[Host] = []
+    for index, bandwidth in enumerate(bottlenecked_bandwidths_bps):
+        client = make_host(
+            f"bn-client-{index:03d}", upload_bps=bandwidth, delay_s=lan_delay_s, kind="client"
+        )
+        topology.add_host(client, via=[shared])
+        bottlenecked.append(client)
+
+    direct: List[Host] = []
+    for index, bandwidth in enumerate(direct_bandwidths_bps):
+        client = make_host(
+            f"client-{index:03d}", upload_bps=bandwidth, delay_s=lan_delay_s, kind="client"
+        )
+        topology.add_host(client)
+        direct.append(client)
+
+    return topology, bottlenecked, direct, thinner, shared
+
+
+def build_dumbbell(
+    left_bandwidths_bps: Sequence[float],
+    bottleneck_bandwidth_bps: float,
+    bottleneck_delay_s: float,
+    thinner_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    web_server_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    lan_delay_s: float = DEFAULT_LAN_DELAY,
+    name: str = "dumbbell",
+) -> Tuple[Topology, List[Host], Host, Host, Host, DuplexLink]:
+    """The §7.7 topology: speak-up clients plus victim host ``H`` behind cable ``m``.
+
+    On the far side of ``m`` sit the thinner and a separate web server ``S``.
+    Returns ``(topology, clients, victim, thinner, web_server, m)``.
+    """
+    topology = Topology(name)
+    shared = DuplexLink("m", bottleneck_bandwidth_bps, delay_s=bottleneck_delay_s)
+    topology.add_shared_link(shared)
+
+    thinner = make_host("thinner", thinner_bandwidth_bps, delay_s=lan_delay_s, kind="thinner")
+    web_server = make_host("webserver", web_server_bandwidth_bps, delay_s=lan_delay_s, kind="server")
+    topology.add_host(thinner)
+    topology.add_host(web_server)
+
+    clients: List[Host] = []
+    for index, bandwidth in enumerate(left_bandwidths_bps):
+        client = make_host(
+            f"client-{index:03d}", upload_bps=bandwidth, delay_s=lan_delay_s, kind="client"
+        )
+        topology.add_host(client, via=[shared])
+        clients.append(client)
+
+    victim = make_host("H", upload_bps=clients[0].upload_capacity_bps if clients else 2 * MBIT,
+                       delay_s=lan_delay_s, kind="victim")
+    topology.add_host(victim, via=[shared])
+    return topology, clients, victim, thinner, web_server, shared
+
+
+def uniform_bandwidths(count: int, bandwidth_bps: float) -> List[float]:
+    """A list of ``count`` identical access bandwidths (the common case)."""
+    if count < 0:
+        raise TopologyError("count must be non-negative")
+    return [bandwidth_bps] * count

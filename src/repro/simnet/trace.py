@@ -1,0 +1,77 @@
+"""Lightweight event tracing.
+
+Tracing is off by default (the hot path only pays an ``is not None`` check).
+Experiments and tests that want to inspect the sequence of flow starts,
+auction decisions, admissions and so on attach a :class:`Tracer` and filter
+its records afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event: a kind plus arbitrary fields."""
+
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Field lookup with a default, like ``dict.get``."""
+        return self.fields.get(name, default)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally bounded in size."""
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self.enabled = True
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append a record (dropping it if the bound has been reached)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(kind, fields))
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind."""
+        return [record for record in self.records if record.kind == kind]
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        """All records matching ``predicate``."""
+        return [record for record in self.records if predicate(record)]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self.records)

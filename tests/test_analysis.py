@@ -1,0 +1,187 @@
+"""Tests for the closed-form analysis of §2–§4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.auction import (
+    adversarial_advantage,
+    auction_price,
+    jittered_service_bound,
+    post_gap_efficiency,
+    theorem_3_1_bound,
+)
+from repro.analysis.botnet import (
+    AVERAGE_BOT_BANDWIDTH_BPS,
+    attack_bandwidth,
+    clientele_needed_to_survive,
+    defended_botnet_multiplier,
+)
+from repro.analysis.provisioning import (
+    payment_traffic_estimate,
+    thinner_connection_memory,
+    thinner_cpu_headroom,
+)
+from repro.analysis.theory import (
+    allocation_without_speakup,
+    good_service_rate,
+    ideal_allocation,
+    ideal_capacity,
+    required_provisioning_factor,
+    surviving_good_fraction,
+)
+from repro.constants import GBIT, KBIT, MBIT
+from repro.errors import AnalysisError
+
+
+# -- §3.1 ---------------------------------------------------------------------
+
+def test_ideal_allocation_basic_cases():
+    assert ideal_allocation(50, 50) == pytest.approx(0.5)
+    assert ideal_allocation(10, 90) == pytest.approx(0.1)
+    assert ideal_allocation(100, 0) == pytest.approx(1.0)
+    with pytest.raises(AnalysisError):
+        ideal_allocation(0, 0)
+    with pytest.raises(AnalysisError):
+        ideal_allocation(-1, 1)
+
+
+def test_good_service_rate_is_min_of_demand_and_share():
+    # Demand below the proportional share: demand wins.
+    assert good_service_rate(10, 50, 50, 100) == pytest.approx(10)
+    # Demand above the share: the share wins.
+    assert good_service_rate(80, 50, 50, 100) == pytest.approx(50)
+
+
+def test_ideal_capacity_matches_paper_example():
+    # B = G means a factor of two over the good demand (§3.1).
+    assert ideal_capacity(50, 1.0, 1.0) == pytest.approx(100)
+    assert required_provisioning_factor(1.0, 1.0) == pytest.approx(2.0)
+    # The paper's §7.2 scenario: 25 good clients at 2 req/s, G = B.
+    assert ideal_capacity(50, 50.0, 50.0) == pytest.approx(100)
+    with pytest.raises(AnalysisError):
+        ideal_capacity(10, 0.0, 1.0)
+
+
+def test_surviving_good_fraction_spare_capacity_examples():
+    # §2.1: 50% spare capacity and G = B leaves the good clients whole.
+    assert surviving_good_fraction(0.5, 1.0) == pytest.approx(1.0)
+    # 90% spare capacity needs only G = B/9.
+    assert surviving_good_fraction(0.9, 1.0 / 9.0) == pytest.approx(1.0)
+    # Less bandwidth than that and they are harmed.
+    assert surviving_good_fraction(0.9, 1.0 / 20.0) < 1.0
+    with pytest.raises(AnalysisError):
+        surviving_good_fraction(1.5, 1.0)
+
+
+def test_allocation_without_speakup_matches_illustration():
+    # g = 2, B = 40 (in requests/s): good get 2/42 of an overloaded server.
+    assert allocation_without_speakup(2, 40, 10) == pytest.approx(2 / 42)
+    assert allocation_without_speakup(0, 0, 10) == 0.0
+
+
+# -- §3.4 ---------------------------------------------------------------------
+
+def test_theorem_bound_examples():
+    assert theorem_3_1_bound(0.0) == 0.0
+    assert theorem_3_1_bound(1.0) == pytest.approx(1.0)
+    # epsilon/2 is a lower bound on the returned (tighter) expression.
+    for epsilon in (0.1, 0.25, 0.5, 0.75):
+        assert theorem_3_1_bound(epsilon) >= epsilon / 2.0
+    with pytest.raises(AnalysisError):
+        theorem_3_1_bound(1.5)
+
+
+def test_jittered_bound_shrinks_with_jitter():
+    base = theorem_3_1_bound(0.5)
+    assert jittered_service_bound(0.5, 0.0) == pytest.approx(base)
+    assert jittered_service_bound(0.5, 0.1) == pytest.approx(0.8 * base)
+    with pytest.raises(AnalysisError):
+        jittered_service_bound(0.5, 0.6)
+
+
+def test_post_gap_efficiency_behaviour():
+    # Large POST relative to the bandwidth-delay product: gaps negligible.
+    big_post = post_gap_efficiency(1_000_000, 2 * MBIT, rtt=0.01)
+    assert big_post > 0.99
+    # Long RTTs with small POSTs hurt (the Figure 7 effect).
+    long_rtt = post_gap_efficiency(100_000, 2 * MBIT, rtt=0.5)
+    assert long_rtt < 0.5
+    with pytest.raises(AnalysisError):
+        post_gap_efficiency(0, 1, 0.1)
+
+
+def test_auction_price_matches_figure5_upper_bound():
+    # G = B = 50 Mbit/s, c = 100 req/s -> 125 KBytes per request.
+    assert auction_price(50 * MBIT, 50 * MBIT, 100) == pytest.approx(125_000)
+    with pytest.raises(AnalysisError):
+        auction_price(1, 1, 0)
+
+
+def test_adversarial_advantage():
+    assert adversarial_advantage(115, 100) == pytest.approx(0.15)
+    with pytest.raises(AnalysisError):
+        adversarial_advantage(0, 100)
+
+
+# -- §2.1 ---------------------------------------------------------------------
+
+def test_attack_bandwidth_matches_paper_numbers():
+    # 10,000 bots at ~100 Kbit/s, half used: 500 Mbit/s.
+    assert attack_bandwidth(10_000) == pytest.approx(500 * MBIT)
+    assert attack_bandwidth(100_000) == pytest.approx(5 * GBIT)
+
+
+def test_clientele_needed_matches_paper_examples():
+    # 90% spare capacity: ~1,000 good clients withstand 10,000 bots.
+    needed = clientele_needed_to_survive(10_000, 0.9)
+    assert needed == pytest.approx(556, rel=0.01) or needed <= 1000
+    # And ~10,000 withstand 100,000 bots (same ratio, 10x).
+    assert clientele_needed_to_survive(100_000, 0.9) <= 10_000
+    with pytest.raises(AnalysisError):
+        clientele_needed_to_survive(10, 1.5)
+
+
+def test_defended_botnet_multiplier_increases_with_spare_capacity():
+    assert defended_botnet_multiplier(0.9) > defended_botnet_multiplier(0.5)
+
+
+# -- §4.3 ---------------------------------------------------------------------
+
+def test_provisioning_helpers():
+    assert payment_traffic_estimate(500 * MBIT, 100 * MBIT) == pytest.approx(600 * MBIT)
+    assert thinner_connection_memory(100_000) == pytest.approx(100_000 * 32 * 1024)
+    assert thinner_cpu_headroom(1.5 * GBIT, 300 * MBIT) == pytest.approx(5.0)
+    with pytest.raises(AnalysisError):
+        payment_traffic_estimate(-1, 0)
+    with pytest.raises(AnalysisError):
+        thinner_cpu_headroom(0, 1)
+
+
+# -- properties ----------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=1.0, max_value=1e9), st.floats(min_value=0.0, max_value=1e9))
+def test_ideal_allocation_is_a_valid_fraction(good, bad):
+    share = ideal_allocation(good, bad)
+    assert 0.0 < share <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(min_value=0.1, max_value=1e6),
+    st.floats(min_value=0.1, max_value=1e6),
+    st.floats(min_value=0.1, max_value=1e6),
+)
+def test_ideal_capacity_serves_good_demand_exactly(good_demand, good_bw, bad_bw):
+    """Property: at c = c_id the proportional share equals the good demand."""
+    capacity = ideal_capacity(good_demand, good_bw, bad_bw)
+    share = ideal_allocation(good_bw, bad_bw) * capacity
+    assert share == pytest.approx(good_demand, rel=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=0.001, max_value=1.0))
+def test_theorem_bound_is_monotone_and_dominates_half_epsilon(epsilon):
+    assert theorem_3_1_bound(epsilon) >= epsilon / 2.0
+    assert theorem_3_1_bound(epsilon) <= epsilon

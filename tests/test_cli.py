@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("demo", "figure2", "figure3", "costs", "figure6", "figure7",
+                    "figure8", "figure9", "advantage", "windows", "capacity"):
+        args = parser.parse_args([command] if command in ("demo", "capacity")
+                                 else [command, "--duration", "5"])
+        assert args.command == command
+
+
+def test_demo_command_prints_headline_metrics(capsys):
+    exit_code = main(["demo", "--good", "2", "--bad", "2", "--capacity", "8",
+                      "--duration", "6", "--seed", "1"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "good_allocation" in output
+    assert "Demo" in output
+
+
+def test_capacity_command_prints_sink_rates(capsys):
+    exit_code = main(["capacity", "--measure-seconds", "0.05"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "1500" in output and "120" in output
+
+
+def test_figure2_command_runs_at_tiny_scale(capsys):
+    exit_code = main(["figure2", "--duration", "6", "--client-scale", "0.12", "--seed", "2"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Figure 2" in output
+    assert "with_speakup" in output
+
+
+def test_unknown_command_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])

@@ -1,0 +1,153 @@
+"""Tests for the workload clients (arrivals, windowing, backlog, stats)."""
+
+import pytest
+
+from repro.clients.bad import BadClient
+from repro.clients.cheats import FocusedCheater, LurkingCheater
+from repro.clients.good import GoodClient
+from repro.clients.population import PopulationSpec, build_mixed_population, build_population
+from repro.constants import MBIT
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.errors import ClientError
+from repro.simnet.topology import build_lan, uniform_bandwidths
+from tests.conftest import make_deployment
+
+
+def build_empty_deployment(clients=4, capacity=10.0, defense="speakup", seed=0):
+    topology, hosts, thinner_host = build_lan(uniform_bandwidths(clients, 2 * MBIT))
+    config = DeploymentConfig(server_capacity_rps=capacity, defense=defense, seed=seed)
+    return Deployment(topology, thinner_host, config), hosts
+
+
+def test_client_parameter_validation():
+    deployment, hosts = build_empty_deployment()
+    with pytest.raises(ClientError):
+        GoodClient(deployment, hosts[0], rate_rps=0.0)
+    with pytest.raises(ClientError):
+        GoodClient(deployment, hosts[1], window=0)
+    with pytest.raises(ClientError):
+        GoodClient(deployment, hosts[2], backlog_timeout=0.0)
+
+
+def test_default_rates_and_windows_match_the_paper():
+    deployment, hosts = build_empty_deployment()
+    good = GoodClient(deployment, hosts[0])
+    bad = BadClient(deployment, hosts[1])
+    assert (good.rate_rps, good.window, good.client_class) == (2.0, 1, "good")
+    assert (bad.rate_rps, bad.window, bad.client_class) == (40.0, 20, "bad")
+
+
+def test_good_client_window_limits_outstanding_requests():
+    deployment, hosts = build_empty_deployment(clients=1, capacity=2.0)
+    client = GoodClient(deployment, hosts[0])
+    deployment.run(10.0)
+    # Window is one: outstanding can never exceed it.
+    assert client.outstanding <= 1
+    assert client.stats.issued >= client.stats.sent
+    assert client.stats.sent >= client.stats.served
+
+
+def test_bad_client_keeps_many_requests_outstanding():
+    deployment, hosts = build_empty_deployment(clients=1, capacity=1.0)
+    client = BadClient(deployment, hosts[0])
+    deployment.run(10.0)
+    assert client.outstanding == client.window
+
+
+def test_backlogged_requests_time_out_as_denials():
+    deployment, hosts = build_empty_deployment(clients=1, capacity=0.5)
+    client = BadClient(deployment, hosts[0], rate_rps=30.0, window=2)
+    deployment.run(25.0)
+    assert client.stats.denied > 0
+    # Conservation: every issued request is accounted for exactly once.
+    accounted = (client.stats.served + client.stats.denied + client.stats.dropped
+                 + client.outstanding + len(client.backlog))
+    assert accounted == client.stats.issued
+
+
+def test_served_requests_record_payment_metrics():
+    deployment, result = make_deployment(good=2, bad=2, capacity=8.0, duration=12.0)
+    good_clients = deployment.good_clients
+    assert any(client.stats.payment_times for client in good_clients)
+    for client in good_clients:
+        for payment_time in client.stats.payment_times:
+            assert payment_time >= 0.0
+        assert client.stats.served_fraction <= 1.0
+        assert client.total_bytes_spent() >= client.stats.bytes_paid
+
+
+def test_difficulty_callable_draws_per_request():
+    deployment, hosts = build_empty_deployment(clients=1, capacity=20.0)
+    client = GoodClient(deployment, hosts[0], difficulty=lambda c: c.rng.uniform(1.0, 3.0))
+    deployment.run(5.0)
+    assert client.stats.issued > 0
+
+
+def test_population_builder_counts_and_classes():
+    deployment, hosts = build_empty_deployment(clients=6)
+    clients = build_mixed_population(deployment, hosts, good_count=4, bad_count=2)
+    assert len(clients) == 6
+    assert len(deployment.good_clients) == 4
+    assert len(deployment.bad_clients) == 2
+    assert deployment.aggregate_bandwidth_bps("good") == pytest.approx(4 * 2 * MBIT)
+
+
+def test_population_builder_rejects_count_mismatch_and_bad_class():
+    deployment, hosts = build_empty_deployment(clients=3)
+    with pytest.raises(ClientError):
+        build_mixed_population(deployment, hosts, good_count=1, bad_count=1)
+    with pytest.raises(ClientError):
+        build_population(deployment, hosts, [PopulationSpec(count=3, client_class="weird")])
+
+
+def test_population_spec_defaults_follow_class():
+    good_spec = PopulationSpec(count=1, client_class="good")
+    bad_spec = PopulationSpec(count=1, client_class="bad")
+    assert (good_spec.resolved_rate(), good_spec.resolved_window()) == (2.0, 1)
+    assert (bad_spec.resolved_rate(), bad_spec.resolved_window()) == (40.0, 20)
+
+
+def test_focused_cheater_uses_one_channel_at_a_time():
+    deployment, hosts = build_empty_deployment(clients=2, capacity=4.0)
+    cheater = FocusedCheater(deployment, hosts[0], rate_rps=10.0, window=5)
+    GoodClient(deployment, hosts[1])
+    deployment.run(12.0)
+    open_channels = sum(1 for channel in cheater.channels.values() if channel.is_open)
+    assert open_channels <= 1
+    assert cheater.client_class == "bad"
+
+
+def test_lurking_cheater_delays_payment():
+    deployment, hosts = build_empty_deployment(clients=2, capacity=4.0)
+    lurker = LurkingCheater(deployment, hosts[0], lurk_delay=2.0, rate_rps=5.0, window=3)
+    GoodClient(deployment, hosts[1])
+    deployment.run(10.0)
+    assert lurker.stats.issued > 0
+    with pytest.raises(ClientError):
+        LurkingCheater(deployment, hosts[1], lurk_delay=-1.0)
+
+
+def test_cheaters_cannot_beat_proportional_share_by_much():
+    """Theorem 3.1 in action: timing games cannot grossly exceed the
+    bandwidth-proportional share."""
+    from repro.clients.population import build_population
+
+    def run(factory):
+        topology, hosts, thinner_host = build_lan(uniform_bandwidths(4, 2 * MBIT))
+        deployment = Deployment(
+            topology, thinner_host,
+            DeploymentConfig(server_capacity_rps=10.0, defense="speakup", seed=4),
+        )
+        GoodClient(deployment, hosts[0])
+        GoodClient(deployment, hosts[1])
+        factory(deployment, hosts[2])
+        factory(deployment, hosts[3])
+        deployment.run(20.0)
+        return deployment.results()
+
+    focused = run(lambda dep, host: FocusedCheater(dep, host))
+    plain = run(lambda dep, host: BadClient(dep, host))
+    # Cheating with timing should not buy dramatically more than the plain
+    # bad client strategy (both hold ~half the bandwidth).
+    assert focused.bad_allocation < plain.bad_allocation + 0.2
+    assert focused.bad_allocation < 0.75

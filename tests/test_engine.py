@@ -1,0 +1,181 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.simnet.engine import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(2.0, fired.append, "b")
+    engine.schedule_at(1.0, fired.append, "a")
+    engine.schedule_at(3.0, fired.append, "c")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 3.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    engine = Engine()
+    fired = []
+    for label in ("first", "second", "third"):
+        engine.schedule_at(1.0, fired.append, label)
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_schedule_after_uses_relative_delay():
+    engine = Engine()
+    seen = []
+    engine.schedule_after(0.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [0.5]
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    engine.schedule_at(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SchedulingError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(SchedulingError):
+        engine.schedule_after(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule_at(1.0, fired.append, "x")
+    event.cancel()
+    engine.run()
+    assert fired == []
+    assert not event.pending
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(1.0, fired.append, "early")
+    engine.schedule_at(5.0, fired.append, "late")
+    engine.run(until=2.0)
+    assert fired == ["early"]
+    assert engine.now == 2.0
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    engine = Engine()
+    engine.run(until=7.5)
+    assert engine.now == 7.5
+
+
+def test_events_scheduled_during_execution_run_in_order():
+    engine = Engine()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        engine.schedule_after(1.0, lambda: fired.append("inner"))
+
+    engine.schedule_at(1.0, outer)
+    engine.run()
+    assert fired == ["outer", "inner"]
+    assert engine.now == 2.0
+
+
+def test_call_soon_runs_at_current_time():
+    engine = Engine()
+    times = []
+    engine.schedule_at(3.0, lambda: engine.call_soon(lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [3.0]
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(1.0, lambda: (fired.append("a"), engine.stop()))
+    engine.schedule_at(2.0, fired.append, "b")
+    engine.run()
+    assert fired[0][0] == "a" if isinstance(fired[0], tuple) else fired == ["a"]
+    assert engine.pending_events == 1
+
+
+def test_max_events_limit():
+    engine = Engine()
+    fired = []
+    for i in range(5):
+        engine.schedule_at(float(i + 1), fired.append, i)
+    engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_periodic_task_fires_until_cancelled():
+    engine = Engine()
+    ticks = []
+    task = engine.schedule_every(1.0, lambda: ticks.append(engine.now))
+    engine.run(until=4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+    task.cancel()
+    engine.schedule_at(10.0, lambda: None)  # keep the clock moving
+    engine.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+    assert task.fire_count == 4
+
+
+def test_periodic_task_custom_start():
+    engine = Engine()
+    ticks = []
+    engine.schedule_every(2.0, lambda: ticks.append(engine.now), start_after=0.5)
+    engine.run(until=5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_periodic_task_rejects_nonpositive_interval():
+    engine = Engine()
+    with pytest.raises(SchedulingError):
+        engine.schedule_every(0.0, lambda: None)
+
+
+def test_drain_fires_everything():
+    engine = Engine()
+    fired = []
+    for i in range(4):
+        engine.schedule_at(float(i), fired.append, i)
+    count = engine.drain()
+    assert count == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for i in range(3):
+        engine.schedule_at(float(i + 1), lambda: None)
+    engine.run()
+    assert engine.events_processed == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+def test_events_always_fire_in_nondecreasing_time_order(times):
+    """Property: whatever the scheduling order, firing order is by time."""
+    engine = Engine()
+    observed = []
+    for t in times:
+        engine.schedule_at(t, lambda t=t: observed.append(engine.now))
+    engine.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)

@@ -1,0 +1,42 @@
+"""The example scripts must stay runnable (they are part of the public API)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLE_FILES) >= 3
+    assert any(path.name == "quickstart.py" for path in EXAMPLE_FILES)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_defines_main(path):
+    module = load_example(path)
+    assert callable(getattr(module, "main", None))
+
+
+def test_quickstart_example_runs_end_to_end(capsys):
+    module = load_example(EXAMPLES_DIR / "quickstart.py")
+    # Shrink the scenario so the example stays fast under test.
+    module.GOOD_CLIENTS = 3
+    module.BAD_CLIENTS = 3
+    module.CAPACITY_RPS = 12.0
+    module.DURATION = 8.0
+    module.main()
+    output = capsys.readouterr().out
+    assert "speakup" in output
+    assert "none" in output

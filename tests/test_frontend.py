@@ -1,0 +1,109 @@
+"""Tests for Deployment / DeploymentConfig wiring."""
+
+import pytest
+
+from repro.constants import MBIT
+from repro.core.admission import NoDefenseThinner
+from repro.core.auction import VirtualAuctionThinner
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.core.quantum import QuantumAuctionThinner
+from repro.core.retry import RandomDropThinner
+from repro.errors import ExperimentError
+from repro.simnet.topology import build_lan, uniform_bandwidths
+
+
+def build(config=None, **kwargs):
+    topology, hosts, thinner_host = build_lan(uniform_bandwidths(2, 2 * MBIT))
+    return Deployment(topology, thinner_host, config or DeploymentConfig(**kwargs)), hosts
+
+
+def test_config_validation():
+    with pytest.raises(ExperimentError):
+        DeploymentConfig(server_capacity_rps=0).validate()
+    with pytest.raises(ExperimentError):
+        DeploymentConfig(defense="bogus").validate()
+    with pytest.raises(ExperimentError):
+        DeploymentConfig(post_bytes=0).validate()
+    with pytest.raises(ExperimentError):
+        DeploymentConfig(request_bytes=-1).validate()
+    with pytest.raises(ExperimentError):
+        DeploymentConfig(encouragement_delay=-1).validate()
+    DeploymentConfig().validate()
+
+
+@pytest.mark.parametrize(
+    "defense,thinner_type",
+    [
+        ("speakup", VirtualAuctionThinner),
+        ("retry", RandomDropThinner),
+        ("quantum", QuantumAuctionThinner),
+        ("none", NoDefenseThinner),
+    ],
+)
+def test_defense_selects_thinner_class(defense, thinner_type):
+    deployment, _hosts = build(defense=defense)
+    assert isinstance(deployment.thinner, thinner_type)
+
+
+def test_custom_thinner_factory_wins():
+    sentinel = {}
+
+    def factory(deployment):
+        thinner = VirtualAuctionThinner(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=deployment.server,
+            host=deployment.thinner_host,
+        )
+        sentinel["thinner"] = thinner
+        return thinner
+
+    topology, hosts, thinner_host = build_lan(uniform_bandwidths(2, 2 * MBIT))
+    deployment = Deployment(topology, thinner_host, DeploymentConfig(), thinner_factory=factory)
+    assert deployment.thinner is sentinel["thinner"]
+
+
+def test_run_requires_positive_duration_and_results_require_run():
+    deployment, _hosts = build()
+    with pytest.raises(ExperimentError):
+        deployment.run(0.0)
+    with pytest.raises(ExperimentError):
+        deployment.results()
+
+
+def test_run_advances_clock_and_accumulates_duration():
+    deployment, _hosts = build()
+    deployment.run(2.0)
+    deployment.run(3.0)
+    assert deployment.engine.now == pytest.approx(5.0)
+    assert deployment.duration == pytest.approx(5.0)
+
+
+def test_payment_channel_uses_config_post_size():
+    deployment, hosts = build(config=DeploymentConfig(post_bytes=123_456))
+    from repro.httpd.messages import new_request
+
+    channel = deployment.payment_channel(hosts[0], new_request("c", issued_at=0.0))
+    assert channel.post_bytes == 123_456
+    assert channel.thinner_host is deployment.thinner_host
+
+
+def test_client_streams_are_distinct_per_name():
+    deployment, _hosts = build()
+    a = deployment.client_stream("client-a")
+    b = deployment.client_stream("client-b")
+    assert a is not b
+    assert deployment.client_stream("client-a") is a
+
+
+def test_aggregate_bandwidth_by_class():
+    from repro.clients.bad import BadClient
+    from repro.clients.good import GoodClient
+
+    deployment, hosts = build()
+    GoodClient(deployment, hosts[0])
+    BadClient(deployment, hosts[1])
+    assert deployment.aggregate_bandwidth_bps() == pytest.approx(4 * MBIT)
+    assert deployment.aggregate_bandwidth_bps("good") == pytest.approx(2 * MBIT)
+    assert len(deployment.good_clients) == 1
+    assert len(deployment.bad_clients) == 1

@@ -1,0 +1,183 @@
+"""Tests for the fluid network: flow lifecycle, integration, incremental rates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MBIT
+from repro.errors import FlowError
+from repro.simnet.bandwidth import max_min_fair_rates
+from repro.simnet.engine import Engine
+from repro.simnet.flow import FlowState
+from repro.simnet.network import FluidNetwork
+from repro.simnet.topology import build_bottleneck, build_lan, uniform_bandwidths
+from repro.simnet.trace import Tracer
+
+
+def make_network(clients=3, bandwidth=2 * MBIT, incremental=True, tracer=None):
+    topology, hosts, thinner = build_lan(uniform_bandwidths(clients, bandwidth))
+    engine = Engine()
+    network = FluidNetwork(engine, topology, tracer=tracer, incremental=incremental)
+    return engine, network, hosts, thinner
+
+
+def test_bounded_flow_completes_at_the_expected_time():
+    engine, network, hosts, thinner = make_network()
+    done = []
+    network.send(hosts[0], thinner, size_bytes=1_000_000, on_complete=lambda f: done.append(engine.now))
+    engine.run(until=10)
+    # 1 MByte at 2 Mbit/s is exactly 4 seconds.
+    assert done == [pytest.approx(4.0)]
+    assert network.completed_flows == 1
+
+
+def test_unbounded_flow_accumulates_bytes_until_stopped():
+    engine, network, hosts, thinner = make_network()
+    flow = network.send(hosts[0], thinner, label="stream")
+    engine.run(until=8)
+    assert network.delivered_bytes(flow) == pytest.approx(2 * MBIT * 8 / 8)
+    delivered = network.stop_flow(flow)
+    assert delivered == pytest.approx(2_000_000)
+    assert flow.state == FlowState.STOPPED
+
+
+def test_two_flows_from_same_host_share_its_uplink():
+    engine, network, hosts, thinner = make_network()
+    first = network.send(hosts[0], thinner)
+    second = network.send(hosts[0], thinner)
+    engine.run(until=4)
+    assert network.delivered_bytes(first) == pytest.approx(network.delivered_bytes(second))
+    total = network.delivered_bytes(first) + network.delivered_bytes(second)
+    assert total == pytest.approx(2 * MBIT * 4 / 8)
+
+
+def test_stopping_one_flow_speeds_up_the_other():
+    engine, network, hosts, thinner = make_network()
+    first = network.send(hosts[0], thinner)
+    second = network.send(hosts[0], thinner)
+    engine.run(until=2)
+    network.stop_flow(first)
+    engine.run(until=4)
+    # Second flow: 1 Mbit/s for 2 s then 2 Mbit/s for 2 s = 0.75 MB.
+    assert network.delivered_bytes(second) == pytest.approx(750_000)
+
+
+def test_completion_time_adapts_when_competition_leaves():
+    engine, network, hosts, thinner = make_network()
+    done = []
+    network.send(hosts[0], thinner, size_bytes=1_000_000, on_complete=lambda f: done.append(engine.now))
+    blocker = network.send(hosts[0], thinner)
+    engine.run(until=2)      # bounded flow has 0.25 MB so far
+    network.stop_flow(blocker)
+    engine.run(until=10)
+    # Remaining 0.75 MB at full 2 Mbit/s takes 3 more seconds.
+    assert done == [pytest.approx(5.0)]
+
+
+def test_rate_cap_is_respected_and_can_be_lifted():
+    engine, network, hosts, thinner = make_network()
+    flow = network.send(hosts[0], thinner, rate_cap_bps=0.5 * MBIT)
+    engine.run(until=2)
+    assert network.delivered_bytes(flow) == pytest.approx(0.5 * MBIT * 2 / 8)
+    network.set_rate_cap(flow, None)
+    engine.run(until=4)
+    assert network.delivered_bytes(flow) == pytest.approx(0.125e6 + 2 * MBIT * 2 / 8 / 1e0)
+
+
+def test_flow_cannot_start_twice():
+    engine, network, hosts, thinner = make_network()
+    flow = network.send(hosts[0], thinner)
+    with pytest.raises(FlowError):
+        network.start_flow(flow)
+
+
+def test_stopping_finished_flow_is_a_noop():
+    engine, network, hosts, thinner = make_network()
+    flow = network.send(hosts[0], thinner, size_bytes=1000)
+    engine.run(until=1)
+    assert flow.state == FlowState.COMPLETED
+    assert network.stop_flow(flow) == pytest.approx(1000)
+
+
+def test_shared_bottleneck_constrains_aggregate():
+    topology, behind, direct, thinner, cable = build_bottleneck(
+        bottlenecked_bandwidths_bps=uniform_bandwidths(4, 2 * MBIT),
+        direct_bandwidths_bps=uniform_bandwidths(1, 2 * MBIT),
+        bottleneck_bandwidth_bps=4 * MBIT,
+    )
+    engine = Engine()
+    network = FluidNetwork(engine, topology)
+    flows = [network.send(host, thinner) for host in behind]
+    direct_flow = network.send(direct[0], thinner)
+    engine.run(until=4)
+    behind_total = sum(network.delivered_bytes(flow) for flow in flows)
+    # The four clients could send 8 Mbit/s but the cable passes only 4 Mbit/s.
+    assert behind_total == pytest.approx(4 * MBIT * 4 / 8, rel=1e-6)
+    assert network.delivered_bytes(direct_flow) == pytest.approx(2 * MBIT * 4 / 8)
+
+
+def test_link_load_and_utilisation_queries():
+    engine, network, hosts, thinner = make_network()
+    flow = network.send(hosts[0], thinner)
+    engine.run(until=1)
+    uplink = hosts[0].uplink
+    assert network.link_load_bps(uplink) == pytest.approx(2 * MBIT)
+    assert network.link_utilisation(uplink) == pytest.approx(1.0)
+    assert network.flows_on(uplink) == [flow]
+    assert network.aggregate_rate_bps() == pytest.approx(2 * MBIT)
+
+
+def test_tracer_records_flow_lifecycle():
+    tracer = Tracer()
+    engine, network, hosts, thinner = make_network(tracer=tracer)
+    network.send(hosts[0], thinner, size_bytes=1000)
+    engine.run(until=1)
+    kinds = tracer.kinds()
+    assert kinds.get("flow_start") == 1
+    assert kinds.get("flow_complete") == 1
+
+
+def test_total_delivered_bytes_accumulates():
+    engine, network, hosts, thinner = make_network()
+    network.send(hosts[0], thinner, size_bytes=1000)
+    network.send(hosts[1], thinner, size_bytes=2000)
+    engine.run(until=2)
+    assert network.total_delivered_bytes == pytest.approx(3000)
+
+
+# ---------------------------------------------------------------------------
+# Property: the incremental allocator always matches the global reference
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),      # which client host
+            st.integers(min_value=0, max_value=2),      # 0: start, 1: stop oldest, 2: advance time
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_incremental_rates_match_global_recomputation(operations):
+    """Property: after any sequence of flow starts/stops, the incremental
+    component-based allocation equals the brute-force global max-min rates."""
+    topology, hosts, thinner = build_lan(uniform_bandwidths(4, 2 * MBIT))
+    engine = Engine()
+    network = FluidNetwork(engine, topology, incremental=True)
+    live = []
+    clock = 0.0
+    for host_index, action in operations:
+        if action == 0:
+            live.append(network.send(hosts[host_index], thinner))
+        elif action == 1 and live:
+            network.stop_flow(live.pop(0))
+        else:
+            clock += 0.05
+            engine.run(until=clock)
+
+    active = network.active_flows
+    expected = max_min_fair_rates(active)
+    for flow in active:
+        assert flow.rate_bps == pytest.approx(expected[flow], rel=1e-6, abs=1e-3)

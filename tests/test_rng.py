@@ -1,0 +1,153 @@
+"""Tests for the named, seeded random streams."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    RandomStream,
+    StreamFactory,
+    derive_seed,
+    deterministic_jitter,
+    geometric_levels,
+    halton,
+    spread_points,
+)
+
+
+def test_same_seed_and_name_reproduce_the_same_draws():
+    a = RandomStream(42, "clients")
+    b = RandomStream(42, "clients")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_streams():
+    a = RandomStream(42, "clients")
+    b = RandomStream(42, "server")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(1, "x") == derive_seed(1, "x")
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+def test_factory_caches_streams():
+    factory = StreamFactory(7)
+    assert factory.stream("a") is factory.stream("a")
+    assert "a" in factory
+    assert len(factory) == 1
+    assert len(factory.streams(["a", "b", "c"])) == 3
+    assert len(factory) == 3
+
+
+def test_exponential_rejects_nonpositive_rate():
+    stream = RandomStream(0, "t")
+    with pytest.raises(ValueError):
+        stream.exponential(0.0)
+
+
+def test_exponential_mean_roughly_matches_rate():
+    stream = RandomStream(0, "poisson")
+    rate = 5.0
+    samples = [stream.exponential(rate) for _ in range(5000)]
+    assert abs(sum(samples) / len(samples) - 1.0 / rate) < 0.02
+
+
+def test_service_time_within_jitter_band():
+    stream = RandomStream(3, "server")
+    capacity = 10.0
+    for _ in range(200):
+        value = stream.service_time(capacity, jitter=0.1)
+        assert 0.9 / capacity <= value <= 1.1 / capacity
+
+
+def test_service_time_validations():
+    stream = RandomStream(3, "server")
+    with pytest.raises(ValueError):
+        stream.service_time(0.0)
+    with pytest.raises(ValueError):
+        stream.service_time(10.0, jitter=1.5)
+
+
+def test_bernoulli_bounds():
+    stream = RandomStream(1, "coin")
+    with pytest.raises(ValueError):
+        stream.bernoulli(1.5)
+    assert stream.bernoulli(1.0) is True
+    assert stream.bernoulli(0.0) is False
+
+
+def test_poisson_arrivals_within_duration_and_increasing():
+    stream = RandomStream(5, "arrivals")
+    arrivals = stream.poisson_arrivals(rate=20.0, duration=10.0)
+    assert all(0 <= t < 10.0 for t in arrivals)
+    assert arrivals == sorted(arrivals)
+    # Expected count is 200; allow generous slack.
+    assert 120 < len(arrivals) < 300
+
+
+def test_choice_on_empty_sequence_raises():
+    stream = RandomStream(0, "c")
+    with pytest.raises(IndexError):
+        stream.choice([])
+
+
+def test_pareto_and_lognormal_positive():
+    stream = RandomStream(0, "diff")
+    assert stream.pareto(1.5, 2.0) >= 2.0
+    assert stream.lognormal(0.0, 1.0) > 0.0
+    with pytest.raises(ValueError):
+        stream.pareto(0, 1)
+
+
+def test_deterministic_jitter_is_stable_and_bounded():
+    assert deterministic_jitter("client-1", 5.0) == deterministic_jitter("client-1", 5.0)
+    assert 0.0 <= deterministic_jitter("client-1", 5.0) < 5.0
+    assert deterministic_jitter("x", 0.0) == 0.0
+    with pytest.raises(ValueError):
+        deterministic_jitter("x", -1.0)
+
+
+def test_halton_values_in_unit_interval():
+    values = [halton(i) for i in range(20)]
+    assert all(0.0 < v < 1.0 for v in values)
+    assert len(set(values)) == len(values)
+    with pytest.raises(ValueError):
+        halton(-1)
+    with pytest.raises(ValueError):
+        halton(0, base=1)
+
+
+def test_spread_points():
+    assert spread_points(0, 0, 1) == []
+    assert spread_points(1, 0, 10) == [5.0]
+    points = spread_points(5, 0.0, 1.0)
+    assert points[0] == 0.0 and points[-1] == 1.0
+    assert points == sorted(points)
+    with pytest.raises(ValueError):
+        spread_points(-1, 0, 1)
+
+
+def test_geometric_levels():
+    levels = geometric_levels(4, 1.0, 8.0)
+    assert levels[0] == pytest.approx(1.0)
+    assert levels[-1] == pytest.approx(8.0)
+    ratios = [levels[i + 1] / levels[i] for i in range(3)]
+    assert all(math.isclose(r, 2.0) for r in ratios)
+    assert geometric_levels(1, 4.0, 9.0) == [pytest.approx(6.0)]
+    with pytest.raises(ValueError):
+        geometric_levels(0, 1, 2)
+    with pytest.raises(ValueError):
+        geometric_levels(3, 0, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+def test_streams_are_reproducible_property(seed, name):
+    """Property: a (seed, name) pair fully determines the stream."""
+    first = RandomStream(seed, name)
+    second = RandomStream(seed, name)
+    assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]

@@ -1,0 +1,124 @@
+"""Tests for links, hosts, and topology routing."""
+
+import pytest
+
+from repro.constants import MBIT, milliseconds
+from repro.errors import TopologyError
+from repro.simnet.host import make_host
+from repro.simnet.link import DuplexLink, Link, path_delay, path_min_capacity
+from repro.simnet.topology import (
+    Topology,
+    build_bottleneck,
+    build_dumbbell,
+    build_lan,
+    uniform_bandwidths,
+)
+
+
+def test_link_rejects_bad_parameters():
+    with pytest.raises(TopologyError):
+        Link("bad", 0.0)
+    with pytest.raises(TopologyError):
+        Link("bad", 1 * MBIT, delay_s=-1.0)
+
+
+def test_duplex_link_directions_are_independent():
+    cable = DuplexLink("c", 10 * MBIT, delay_s=0.01, down_capacity_bps=50 * MBIT)
+    assert cable.up.capacity_bps == 10 * MBIT
+    assert cable.down.capacity_bps == 50 * MBIT
+    assert cable.rtt == pytest.approx(0.02)
+
+
+def test_path_helpers():
+    links = [Link("a", 2 * MBIT, 0.001), Link("b", 10 * MBIT, 0.002)]
+    assert path_delay(links) == pytest.approx(0.003)
+    assert path_min_capacity(links) == 2 * MBIT
+    with pytest.raises(TopologyError):
+        path_min_capacity([])
+
+
+def test_host_properties():
+    host = make_host("h", upload_bps=2 * MBIT, download_bps=8 * MBIT, delay_s=0.005,
+                     extra_delay_s=0.05)
+    assert host.upload_capacity_bps == 2 * MBIT
+    assert host.download_capacity_bps == 8 * MBIT
+    assert host.one_way_delay_to_access() == pytest.approx(0.055)
+
+
+def test_topology_path_and_rtt():
+    topology, clients, thinner = build_lan(uniform_bandwidths(2, 2 * MBIT))
+    path = topology.path(clients[0], thinner)
+    assert path[0] is clients[0].uplink
+    assert path[-1] is thinner.downlink
+    # Symmetric LAN: RTT is twice the sum of the two access delays.
+    assert topology.rtt(clients[0], thinner) == pytest.approx(
+        2 * (clients[0].access.delay_s + thinner.access.delay_s)
+    )
+
+
+def test_topology_rejects_self_path_and_unknown_hosts():
+    topology, clients, thinner = build_lan(uniform_bandwidths(2, 2 * MBIT))
+    with pytest.raises(TopologyError):
+        topology.path(clients[0], clients[0])
+    stranger = make_host("stranger", 2 * MBIT)
+    with pytest.raises(TopologyError):
+        topology.path(stranger, thinner)
+    with pytest.raises(TopologyError):
+        topology.host("nobody")
+
+
+def test_topology_rejects_duplicate_hosts():
+    topology = Topology()
+    host = make_host("h", 2 * MBIT)
+    topology.add_host(host)
+    with pytest.raises(TopologyError):
+        topology.add_host(host)
+
+
+def test_build_lan_respects_per_client_delays():
+    delays = [0.0, 0.1]
+    topology, clients, thinner = build_lan(
+        uniform_bandwidths(2, 2 * MBIT), client_delays_s=delays
+    )
+    rtt_near = topology.rtt(clients[0], thinner)
+    rtt_far = topology.rtt(clients[1], thinner)
+    assert rtt_far - rtt_near == pytest.approx(0.2)
+
+
+def test_build_lan_validations():
+    with pytest.raises(TopologyError):
+        build_lan([])
+    with pytest.raises(TopologyError):
+        build_lan([2 * MBIT], client_delays_s=[0.0, 0.0])
+
+
+def test_build_bottleneck_routes_through_shared_cable():
+    topology, behind, direct, thinner, cable = build_bottleneck(
+        bottlenecked_bandwidths_bps=uniform_bandwidths(3, 2 * MBIT),
+        direct_bandwidths_bps=uniform_bandwidths(2, 2 * MBIT),
+        bottleneck_bandwidth_bps=5 * MBIT,
+    )
+    behind_path = topology.path(behind[0], thinner)
+    direct_path = topology.path(direct[0], thinner)
+    assert cable.up in behind_path
+    assert cable.up not in direct_path
+    assert topology.shared_link("l") is cable
+
+
+def test_build_dumbbell_places_victim_behind_bottleneck():
+    topology, clients, victim, thinner, web_server, cable = build_dumbbell(
+        left_bandwidths_bps=uniform_bandwidths(2, 2 * MBIT),
+        bottleneck_bandwidth_bps=1 * MBIT,
+        bottleneck_delay_s=milliseconds(100),
+    )
+    assert cable.up in topology.path(victim, web_server)
+    assert cable.down in topology.path(web_server, victim)
+    # RTT between victim and web server includes the 100 ms each way.
+    assert topology.rtt(victim, web_server) >= 0.2
+
+
+def test_uniform_bandwidths():
+    assert uniform_bandwidths(3, 2 * MBIT) == [2 * MBIT] * 3
+    assert uniform_bandwidths(0, 2 * MBIT) == []
+    with pytest.raises(TopologyError):
+        uniform_bandwidths(-1, 2 * MBIT)

@@ -1,0 +1,58 @@
+"""Tests for the tracer."""
+
+from repro.simnet.trace import TraceRecord, Tracer
+
+
+def test_record_and_query_by_kind():
+    tracer = Tracer()
+    tracer.record("flow_start", flow_id=1)
+    tracer.record("flow_stop", flow_id=1)
+    tracer.record("flow_start", flow_id=2)
+    assert len(tracer) == 3
+    assert len(tracer.of_kind("flow_start")) == 2
+    assert tracer.kinds() == {"flow_start": 2, "flow_stop": 1}
+
+
+def test_record_field_access():
+    record = TraceRecord("auction", {"winner": 7, "price": 100.0})
+    assert record.winner == 7
+    assert record.get("price") == 100.0
+    assert record.get("missing", "default") == "default"
+    try:
+        record.nonexistent
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected AttributeError")
+
+
+def test_where_predicate():
+    tracer = Tracer()
+    for index in range(5):
+        tracer.record("tick", value=index)
+    big = tracer.where(lambda record: record.value >= 3)
+    assert [record.value for record in big] == [3, 4]
+
+
+def test_max_records_bound():
+    tracer = Tracer(max_records=2)
+    for index in range(5):
+        tracer.record("tick", value=index)
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    tracer.record("tick")
+    assert len(tracer) == 0
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.record("tick")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+    assert list(iter(tracer)) == []
