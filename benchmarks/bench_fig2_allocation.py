@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.allocation import figure2_allocation, format_figure2
 
 
-def test_bench_figure2_allocation(benchmark, bench_scale):
-    rows = run_once(benchmark, figure2_allocation, bench_scale)
+def test_bench_figure2_allocation(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, figure2_allocation, bench_scale, runner=sweep_runner)
     print()
     print(format_figure2(rows))
     for row in rows:

@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.allocation import figure3_provisioning, format_figure3
 
 
-def test_bench_figure3_provisioning(benchmark, bench_scale):
-    rows = run_once(benchmark, figure3_provisioning, bench_scale)
+def test_bench_figure3_provisioning(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, figure3_provisioning, bench_scale, runner=sweep_runner)
     print()
     print(format_figure3(rows))
     on = {row.capacity_rps: row for row in rows if row.speakup_on}

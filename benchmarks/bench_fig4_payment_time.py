@@ -10,8 +10,8 @@ from repro.experiments.cost import figure4_5_costs
 from repro.metrics.tables import format_table
 
 
-def test_bench_figure4_payment_time(benchmark, bench_scale):
-    rows = run_once(benchmark, figure4_5_costs, bench_scale)
+def test_bench_figure4_payment_time(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, figure4_5_costs, bench_scale, runner=sweep_runner)
     print()
     print(format_table(
         headers=["capacity", "mean_payment_s", "p90_payment_s"],

@@ -10,8 +10,8 @@ from repro.experiments.cost import figure4_5_costs
 from repro.metrics.tables import format_table
 
 
-def test_bench_figure5_price(benchmark, bench_scale):
-    rows = run_once(benchmark, figure4_5_costs, bench_scale)
+def test_bench_figure5_price(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, figure4_5_costs, bench_scale, runner=sweep_runner)
     print()
     print(format_table(
         headers=["capacity", "price_good_KB", "price_bad_KB", "upper_bound_KB"],

@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.heterogeneous import figure6_bandwidth_heterogeneity, format_categories
 
 
-def test_bench_figure6_bandwidth_heterogeneity(benchmark, bench_scale):
-    rows = run_once(benchmark, figure6_bandwidth_heterogeneity, bench_scale)
+def test_bench_figure6_bandwidth_heterogeneity(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, figure6_bandwidth_heterogeneity, bench_scale, runner=sweep_runner)
     print()
     print(format_categories(
         rows, "bandwidth_Mbit",

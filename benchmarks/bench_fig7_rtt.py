@@ -10,15 +10,15 @@ from benchmarks.conftest import run_once
 from repro.experiments.heterogeneous import figure7_rtt_heterogeneity, format_categories
 
 
-def _both_series(scale):
+def _both_series(scale, runner):
     return {
-        "good": figure7_rtt_heterogeneity(scale, client_class="good"),
-        "bad": figure7_rtt_heterogeneity(scale, client_class="bad"),
+        "good": figure7_rtt_heterogeneity(scale, client_class="good", runner=runner),
+        "bad": figure7_rtt_heterogeneity(scale, client_class="bad", runner=runner),
     }
 
 
-def test_bench_figure7_rtt_heterogeneity(benchmark, bench_scale):
-    series = run_once(benchmark, _both_series, bench_scale)
+def test_bench_figure7_rtt_heterogeneity(benchmark, bench_scale, sweep_runner):
+    series = run_once(benchmark, _both_series, bench_scale, sweep_runner)
     print()
     for client_class, rows in series.items():
         print(format_categories(

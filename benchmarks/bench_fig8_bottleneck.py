@@ -10,8 +10,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.bottleneck import figure8_shared_bottleneck, format_bottleneck
 
 
-def test_bench_figure8_shared_bottleneck(benchmark, bench_scale):
-    rows = run_once(benchmark, figure8_shared_bottleneck, bench_scale)
+def test_bench_figure8_shared_bottleneck(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, figure8_shared_bottleneck, bench_scale, runner=sweep_runner)
     print()
     print(format_bottleneck(rows))
     for row in rows:

@@ -16,8 +16,8 @@ from repro.metrics.tables import format_table
 PAPER_ADVANTAGE = 0.15
 
 
-def test_bench_adversarial_advantage(benchmark, bench_scale):
-    outcome = run_once(benchmark, empirical_adversarial_advantage, bench_scale)
+def test_bench_adversarial_advantage(benchmark, bench_scale, sweep_runner):
+    outcome = run_once(benchmark, empirical_adversarial_advantage, bench_scale, runner=sweep_runner)
     print()
     print(format_table(
         headers=["metric", "measured", "paper"],
@@ -31,8 +31,8 @@ def test_bench_adversarial_advantage(benchmark, bench_scale):
     assert 0.0 <= outcome.advantage <= 0.5
 
 
-def test_bench_window_sweep(benchmark, bench_scale):
-    rows = run_once(benchmark, window_sweep, bench_scale, windows=(1, 10, 20, 40))
+def test_bench_window_sweep(benchmark, bench_scale, sweep_runner):
+    rows = run_once(benchmark, window_sweep, bench_scale, windows=(1, 10, 20, 40), runner=sweep_runner)
     print()
     print(format_window_sweep(rows))
     assert all(0.0 <= row.bad_allocation <= 1.0 for row in rows)

@@ -1,0 +1,48 @@
+"""The sweep runner itself: a good/bad-ratio grid with seed replicates.
+
+Benchmarks the scenario subsystem end to end — grid expansion, per-point
+execution, and record collection — once serially and once with a process
+pool, and checks the two produce identical results (the determinism
+guarantee every parallel sweep relies on).
+"""
+
+from benchmarks.conftest import run_once
+from repro.scenarios.registry import build_scenario
+from repro.scenarios.runner import Sweep, SweepRunner, default_jobs
+
+#: Good-client counts the grid sweeps (out of a fixed population of 10).
+GRID_GOOD = (2, 5, 8)
+REPLICATES = 3
+
+
+def _ratio_sweep(scale) -> Sweep:
+    base = build_scenario(
+        "lan-baseline",
+        good_clients=GRID_GOOD[0],
+        bad_clients=10 - GRID_GOOD[0],
+        capacity_rps=20.0,
+        duration=min(scale.duration, 20.0),
+        seed=scale.seed,
+    )
+    return Sweep(
+        base,
+        axes={
+            ("groups.0.count", "groups.1.count"): [
+                (good, 10 - good) for good in GRID_GOOD
+            ],
+        },
+        replicates=REPLICATES,
+    )
+
+
+def test_bench_sweep_serial(benchmark, bench_scale):
+    records = run_once(benchmark, SweepRunner(jobs=1).run, _ratio_sweep(bench_scale))
+    assert len(records) == len(GRID_GOOD) * REPLICATES
+
+
+def test_bench_sweep_parallel(benchmark, bench_scale):
+    jobs = min(4, default_jobs())
+    records = run_once(benchmark, SweepRunner(jobs=jobs).run, _ratio_sweep(bench_scale))
+    assert len(records) == len(GRID_GOOD) * REPLICATES
+    serial = SweepRunner(jobs=1).run(_ratio_sweep(bench_scale))
+    assert [r.result.to_dict() for r in records] == [r.result.to_dict() for r in serial]

@@ -15,16 +15,20 @@ from repro.experiments.capacity import thinner_sink_capacity
 from repro.metrics.tables import format_table
 
 
-def _summarise(scale: ExperimentScale):
-    allocation_rows = figure2_allocation(scale, fractions=(0.5,))
-    advantage = empirical_adversarial_advantage(scale, served_threshold=0.95, tolerance=0.1)
+def _summarise(scale: ExperimentScale, runner):
+    allocation_rows = figure2_allocation(scale, fractions=(0.5,), runner=runner)
+    advantage = empirical_adversarial_advantage(
+        scale, served_threshold=0.95, tolerance=0.1, runner=runner
+    )
     sink = thinner_sink_capacity(duration_seconds=0.2)
-    bottleneck = figure8_shared_bottleneck(scale, splits=((15, 15),))[0]
+    bottleneck = figure8_shared_bottleneck(scale, splits=((15, 15),), runner=runner)[0]
     return allocation_rows[0], advantage, sink, bottleneck
 
 
-def test_bench_table1_summary(benchmark, bench_scale):
-    allocation, advantage, sink, bottleneck = run_once(benchmark, _summarise, bench_scale)
+def test_bench_table1_summary(benchmark, bench_scale, sweep_runner):
+    allocation, advantage, sink, bottleneck = run_once(
+        benchmark, _summarise, bench_scale, sweep_runner
+    )
     rows = [
         (
             "allocation roughly proportional to bandwidth (Fig 2)",

@@ -8,6 +8,7 @@ Scale control (environment variables):
 
 * ``REPRO_BENCH_DURATION``      — simulated seconds per run (default 60; paper: 600)
 * ``REPRO_BENCH_CLIENT_SCALE``  — fraction of the paper's client count (default 0.5)
+* ``REPRO_BENCH_JOBS``          — worker processes for figure sweeps (default 1)
 
 Run everything with::
 
@@ -16,15 +17,27 @@ Run everything with::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.base import ExperimentScale
+from repro.scenarios.runner import SweepRunner
+
+#: Environment variable controlling sweep parallelism in the benchmarks.
+ENV_JOBS = "REPRO_BENCH_JOBS"
 
 
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     """The scale every benchmark uses (overridable through the environment)."""
     return ExperimentScale.default(seed=1)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner() -> SweepRunner:
+    """The runner the figure benchmarks hand their scenario grids to."""
+    return SweepRunner(jobs=int(os.environ.get(ENV_JOBS, "1")))
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -12,15 +12,23 @@ Examples::
     speakup-repro figure9
     speakup-repro advantage        # section 7.4
     speakup-repro capacity         # section 7.1 analogue
+    speakup-repro scenarios        # list the named scenarios
+    speakup-repro sweep --scenario lan-baseline \\
+        --set good_clients=10 --set bad_clients=10 --set capacity_rps=40 \\
+        --grid defense=speakup,none --replicates 3 --jobs 4 --out results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro import quick_demo
+from repro.errors import ReproError
+from repro.scenarios.registry import build_scenario, scenario_description, scenario_names
+from repro.scenarios.runner import Sweep, SweepRunner, save_results
 from repro.experiments.adversary import empirical_adversarial_advantage, format_window_sweep, window_sweep
 from repro.experiments.allocation import (
     figure2_allocation,
@@ -86,13 +94,143 @@ def build_parser() -> argparse.ArgumentParser:
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
 
+    subparsers.add_parser("scenarios", help="list the named scenarios in the registry")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="expand a parameter grid over a named scenario and run it",
+        description=(
+            "Expand a parameter grid (and seed replicates) over a named scenario "
+            "and run every point, serially or across worker processes. "
+            "--set passes arguments to the scenario factory; --grid varies spec "
+            "fields (dotted paths such as capacity_rps, defense, or "
+            "groups.1.window) over comma-separated values."
+        ),
+    )
+    sweep.add_argument("--scenario", default="lan-baseline",
+                       help="registry name (see 'speakup-repro scenarios')")
+    sweep.add_argument("--set", dest="settings", action="append", default=[],
+                       metavar="KEY=VALUE", help="scenario factory argument (repeatable)")
+    sweep.add_argument("--grid", dest="grids", action="append", default=[],
+                       metavar="PATH=V1,V2,...",
+                       help="sweep a spec field over values (repeatable)")
+    sweep.add_argument("--replicates", type=int, default=None,
+                       help="seed replicates per grid point (derived substreams)")
+    sweep.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                       help="explicit root seeds (alternative to --replicates)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial; results are identical)")
+    sweep.add_argument("--out", default=None, metavar="FILE",
+                       help="write the JSON results store to FILE")
+
     return parser
 
 
+def _parse_value(text: str) -> Any:
+    """Interpret a CLI value as int, float, bool, or string (in that order)."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_pair(entry: str, option: str) -> tuple:
+    key, separator, value = entry.partition("=")
+    if not separator or not key or not value:
+        raise ReproError(f"{option} expects KEY=VALUE, got {entry!r}")
+    return key, value
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    overrides = {}
+    for entry in args.settings:
+        key, value = _parse_pair(entry, "--set")
+        overrides[key] = _parse_value(value)
+    spec = build_scenario(args.scenario, **overrides)
+
+    axes = {}
+    for entry in args.grids:
+        path, values = _parse_pair(entry, "--grid")
+        axes[path] = tuple(_parse_value(value) for value in values.split(","))
+
+    seeds = None
+    if args.seeds is not None:
+        try:
+            seeds = tuple(int(seed) for seed in args.seeds.split(","))
+        except ValueError:
+            raise ReproError(f"--seeds expects comma-separated integers, got {args.seeds!r}")
+    sweep = Sweep(spec, axes=axes, seeds=seeds, replicates=args.replicates)
+
+    runner = SweepRunner(jobs=args.jobs)
+    records = runner.run(sweep)
+    if args.out:
+        save_results(records, args.out)
+
+    axis_paths = [path for path in axes]
+    rows = []
+    for record in records:
+        point = ", ".join(f"{path}={record.overrides[path]}" for path in axis_paths)
+        rows.append((
+            point or "-",
+            record.seed,
+            record.result.good_allocation,
+            record.result.bad_allocation,
+            record.result.good_fraction_served,
+        ))
+    print(format_table(
+        headers=["point", "seed", "good_alloc", "bad_alloc", "good_served_frac"],
+        rows=rows,
+        title=(
+            f"Sweep over {args.scenario!r}: {len(records)} runs"
+            + (f" -> {args.out}" if args.out else "")
+        ),
+    ))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point for the ``speakup-repro`` console script."""
+    """Entry point for the ``speakup-repro`` console script.
+
+    Returns 0 on success and 2 on a configuration error (bad argument
+    values, unknown scenarios, ...), printing a one-line message rather
+    than a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except ReproError as error:
+        print(f"speakup-repro: error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout disappeared mid-print (e.g. piping into `head`): exit
+        # quietly like a well-behaved filter, pointing stdout at devnull so
+        # the interpreter's shutdown flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
+    except OSError as error:
+        # E.g. --out pointing into a directory that does not exist.
+        print(f"speakup-repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.command == "scenarios":
+        print(format_table(
+            headers=["scenario", "description"],
+            rows=[(name, scenario_description(name)) for name in scenario_names()],
+            title="Named scenarios (use with 'speakup-repro sweep --scenario NAME')",
+        ))
+        return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     if args.command == "demo":
         result = quick_demo(

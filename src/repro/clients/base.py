@@ -23,6 +23,11 @@ from repro.simnet.host import Host
 #: A request difficulty is either a constant or a draw from the client's RNG.
 DifficultySpec = Union[float, Callable[["BaseClient"], float]]
 
+#: A rate modulator maps simulated time to a demand multiplier in [0, 1];
+#: ``rate_rps`` is then the client's *peak* rate and arrivals follow a
+#: non-homogeneous Poisson process realised by thinning.
+RateModulator = Callable[[float], float]
+
 
 @dataclass
 class ClientStats:
@@ -66,6 +71,7 @@ class BaseClient:
         request_bytes: Optional[float] = None,
         backlog_timeout: float = REQUEST_TIMEOUT,
         difficulty: DifficultySpec = 1.0,
+        rate_modulator: Optional[RateModulator] = None,
         auto_register: bool = True,
     ) -> None:
         if rate_rps <= 0:
@@ -88,6 +94,7 @@ class BaseClient:
         )
         self.backlog_timeout = backlog_timeout
         self.difficulty = difficulty
+        self.rate_modulator = rate_modulator
         self.rng = deployment.client_stream(host.name)
         self.stats = ClientStats()
 
@@ -126,6 +133,13 @@ class BaseClient:
         self.engine.schedule_after(gap, self._arrival)
 
     def _arrival(self) -> None:
+        if self.rate_modulator is not None:
+            # Thinning (Lewis & Shedler): draw candidates at the peak rate and
+            # accept each with probability equal to the current multiplier.
+            multiplier = min(1.0, max(0.0, self.rate_modulator(self.engine.now)))
+            if not self.rng.bernoulli(multiplier):
+                self._schedule_next_arrival()
+                return
         request = new_request(
             client_id=self.name,
             issued_at=self.engine.now,

@@ -18,7 +18,7 @@ from repro.constants import (
 )
 from repro.errors import ClientError
 from repro.clients.bad import BadClient
-from repro.clients.base import BaseClient, DifficultySpec
+from repro.clients.base import BaseClient, DifficultySpec, RateModulator
 from repro.clients.good import GoodClient
 from repro.core.frontend import Deployment
 from repro.simnet.host import Host
@@ -34,6 +34,7 @@ class PopulationSpec:
     window: Optional[int] = None         # defaults per class
     category: Optional[str] = None
     difficulty: DifficultySpec = 1.0
+    rate_modulator: Optional[RateModulator] = None
 
     def resolved_rate(self) -> float:
         if self.rate_rps is not None:
@@ -66,38 +67,27 @@ def build_population(
     clients: List[BaseClient] = []
     host_iter = iter(hosts)
     for spec in specs:
+        if client_factory is not None:
+            factory = client_factory
+        elif spec.client_class == "good":
+            factory = GoodClient
+        elif spec.client_class == "bad":
+            factory = BadClient
+        else:
+            raise ClientError(f"unknown client class {spec.client_class!r}")
+        kwargs = dict(
+            rate_rps=spec.resolved_rate(),
+            window=spec.resolved_window(),
+            category=spec.category,
+            difficulty=spec.difficulty,
+        )
+        # Only pass the modulator when set so custom factories that predate
+        # the keyword keep working.
+        if spec.rate_modulator is not None:
+            kwargs["rate_modulator"] = spec.rate_modulator
         for _ in range(spec.count):
             host = next(host_iter)
-            if client_factory is not None:
-                client = client_factory(
-                    deployment,
-                    host,
-                    rate_rps=spec.resolved_rate(),
-                    window=spec.resolved_window(),
-                    category=spec.category,
-                    difficulty=spec.difficulty,
-                )
-            elif spec.client_class == "good":
-                client = GoodClient(
-                    deployment,
-                    host,
-                    rate_rps=spec.resolved_rate(),
-                    window=spec.resolved_window(),
-                    category=spec.category,
-                    difficulty=spec.difficulty,
-                )
-            elif spec.client_class == "bad":
-                client = BadClient(
-                    deployment,
-                    host,
-                    rate_rps=spec.resolved_rate(),
-                    window=spec.resolved_window(),
-                    category=spec.category,
-                    difficulty=spec.difficulty,
-                )
-            else:
-                raise ClientError(f"unknown client class {spec.client_class!r}")
-            clients.append(client)
+            clients.append(factory(deployment, host, **kwargs))
     return clients
 
 

@@ -5,6 +5,11 @@ so the same code serves three audiences: unit/integration tests (seconds of
 simulated time, a handful of clients), the benchmark harness (the default
 scale, which reproduces the paper's shapes in minutes), and full paper-scale
 runs (``ExperimentScale.paper()`` — 50 clients, 600 simulated seconds).
+
+Each figure's sweep is expressed as a :class:`~repro.scenarios.spec.ScenarioSpec`
+grid executed by a :class:`~repro.scenarios.runner.SweepRunner`; pass
+``runner=SweepRunner(jobs=N)`` to any figure function to fan its grid out
+across cores.
 """
 
 from repro.experiments.base import ExperimentScale, LanScenario, run_lan_scenario

@@ -14,12 +14,13 @@ Two questions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.theory import ideal_capacity
 from repro.experiments.allocation import PAPER_CLIENT_COUNT
-from repro.experiments.base import ExperimentScale, LanScenario, run_lan_scenario
+from repro.experiments.base import ExperimentScale, LanScenario
 from repro.metrics.tables import format_table
+from repro.scenarios.runner import Sweep, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -42,16 +43,18 @@ class WindowSweepRow:
     good_fraction_served: float
 
 
-def _served_fraction_at(capacity: float, good: int, bad: int, scale: ExperimentScale) -> float:
-    scenario = LanScenario(
+def _served_fraction_at(
+    capacity: float, good: int, bad: int, scale: ExperimentScale, runner: SweepRunner
+) -> float:
+    spec = LanScenario(
         good_clients=good,
         bad_clients=bad,
         capacity_rps=capacity,
         defense="speakup",
         duration=scale.duration,
         seed=scale.seed,
-    )
-    return run_lan_scenario(scenario).good_fraction_served
+    ).to_spec()
+    return runner.run_specs([spec])[0].good_fraction_served
 
 
 def empirical_adversarial_advantage(
@@ -59,6 +62,7 @@ def empirical_adversarial_advantage(
     served_threshold: float = 0.99,
     max_factor: float = 1.6,
     tolerance: float = 0.025,
+    runner: Optional[SweepRunner] = None,
 ) -> AdvantageResult:
     """Find the smallest capacity (relative to c_id) serving all good demand.
 
@@ -66,6 +70,7 @@ def empirical_adversarial_advantage(
     "serves all good demand" when the fraction of good requests served is at
     least ``served_threshold``.
     """
+    runner = runner or SweepRunner()
     total_clients = scale.clients(PAPER_CLIENT_COUNT)
     good = total_clients // 2
     bad = total_clients - good
@@ -74,7 +79,7 @@ def empirical_adversarial_advantage(
     bad_bandwidth = float(bad)
     c_id = ideal_capacity(good_demand, good_bandwidth, bad_bandwidth)
 
-    served_at_ideal = _served_fraction_at(c_id, good, bad, scale)
+    served_at_ideal = _served_fraction_at(c_id, good, bad, scale, runner)
     search_points = [(c_id / c_id, served_at_ideal)]
 
     low, high = c_id, c_id * max_factor
@@ -84,7 +89,7 @@ def empirical_adversarial_advantage(
 
     while (high - low) / c_id > tolerance:
         mid = (low + high) / 2.0
-        served = _served_fraction_at(mid, good, bad, scale)
+        served = _served_fraction_at(mid, good, bad, scale, runner)
         search_points.append((mid / c_id, served))
         if served >= served_threshold:
             high = mid
@@ -104,32 +109,37 @@ def window_sweep(
     scale: ExperimentScale,
     windows: Sequence[int] = (1, 5, 10, 20, 40, 60),
     paper_capacity: float = 100.0,
+    runner: Optional[SweepRunner] = None,
 ) -> List[WindowSweepRow]:
     """Vary the bad clients' window ``w`` and measure what they capture."""
+    runner = runner or SweepRunner()
     total_clients = scale.clients(PAPER_CLIENT_COUNT)
     good = total_clients // 2
     bad = total_clients - good
     capacity = scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients)
-    rows: List[WindowSweepRow] = []
-    for window in windows:
-        scenario = LanScenario(
-            good_clients=good,
-            bad_clients=bad,
-            capacity_rps=capacity,
-            defense="speakup",
-            bad_window=window,
-            duration=scale.duration,
-            seed=scale.seed,
+    base = LanScenario(
+        good_clients=good,
+        bad_clients=bad,
+        capacity_rps=capacity,
+        defense="speakup",
+        duration=scale.duration,
+        seed=scale.seed,
+    ).to_spec()
+    # Locate the bad group: to_spec() omits zero-count groups, so at tiny
+    # scales (no good clients) it may be index 0 rather than 1.
+    bad_index = next(
+        index for index, group in enumerate(base.groups) if group.client_class == "bad"
+    )
+    window_path = f"groups.{bad_index}.window"
+    records = runner.run(Sweep(base, axes={window_path: tuple(windows)}))
+    return [
+        WindowSweepRow(
+            window=record.overrides[window_path],
+            bad_allocation=record.result.bad_allocation,
+            good_fraction_served=record.result.good_fraction_served,
         )
-        result = run_lan_scenario(scenario)
-        rows.append(
-            WindowSweepRow(
-                window=window,
-                bad_allocation=result.bad_allocation,
-                good_fraction_served=result.good_fraction_served,
-            )
-        )
-    return rows
+        for record in records
+    ]
 
 
 def format_window_sweep(rows: Sequence[WindowSweepRow]) -> str:

@@ -13,10 +13,11 @@ ideal provisioning ``c_id`` for this workload; ``c = 200`` serves everyone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.experiments.base import ExperimentScale, LanScenario, run_lan_scenario
+from repro.experiments.base import ExperimentScale, LanScenario
 from repro.metrics.tables import format_table
+from repro.scenarios.runner import Sweep, SweepRunner
 
 #: The good-client fractions Figure 2 sweeps.
 FIGURE2_FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
@@ -55,33 +56,50 @@ def figure2_allocation(
     scale: ExperimentScale,
     fractions: Sequence[float] = FIGURE2_FRACTIONS,
     paper_capacity: float = 100.0,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Figure2Row]:
     """Reproduce Figure 2: allocation vs. the good clients' bandwidth fraction."""
+    if not fractions:
+        return []
+    runner = runner or SweepRunner()
     total_clients = scale.clients(PAPER_CLIENT_COUNT)
     capacity = scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients)
-    rows: List[Figure2Row] = []
+
+    splits: List[tuple] = []
     for fraction in fractions:
         good = max(1, round(fraction * total_clients))
         good = min(good, total_clients - 1) if fraction < 1.0 else total_clients
-        bad = total_clients - good
-        results = {}
-        for defense in ("speakup", "none"):
-            scenario = LanScenario(
-                good_clients=good,
-                bad_clients=bad,
-                capacity_rps=capacity,
-                defense=defense,
-                duration=scale.duration,
-                seed=scale.seed,
-            )
-            results[defense] = run_lan_scenario(scenario)
+        splits.append((good, total_clients - good))
+
+    base = LanScenario(
+        good_clients=max(1, splits[0][0]),
+        bad_clients=max(1, splits[0][1]),
+        capacity_rps=capacity,
+        duration=scale.duration,
+        seed=scale.seed,
+    ).to_spec()
+    sweep = Sweep(
+        base,
+        axes={
+            ("groups.0.count", "groups.1.count"): splits,
+            "defense": ("speakup", "none"),
+        },
+    )
+    records = runner.run(sweep)
+    by_point = {
+        (record.overrides["groups.0.count"], record.overrides["defense"]): record.result
+        for record in records
+    }
+
+    rows: List[Figure2Row] = []
+    for fraction, (good, bad) in zip(fractions, splits):
         rows.append(
             Figure2Row(
                 good_fraction=fraction,
                 good_clients=good,
                 bad_clients=bad,
-                allocation_with_speakup=results["speakup"].good_allocation,
-                allocation_without_speakup=results["none"].good_allocation,
+                allocation_with_speakup=by_point[(good, "speakup")].good_allocation,
+                allocation_without_speakup=by_point[(good, "none")].good_allocation,
                 ideal=good / total_clients,
             )
         )
@@ -91,33 +109,45 @@ def figure2_allocation(
 def figure3_provisioning(
     scale: ExperimentScale,
     paper_capacities: Sequence[float] = FIGURE3_CAPACITIES,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Figure3Row]:
     """Reproduce Figure 3: allocations and served fraction across capacities."""
+    if not paper_capacities:
+        return []
+    runner = runner or SweepRunner()
     total_clients = scale.clients(PAPER_CLIENT_COUNT)
     good = total_clients // 2
     bad = total_clients - good
+    capacities = {
+        scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients): paper_capacity
+        for paper_capacity in paper_capacities
+    }
+    base = LanScenario(
+        good_clients=good,
+        bad_clients=bad,
+        capacity_rps=next(iter(capacities)),
+        duration=scale.duration,
+        seed=scale.seed,
+    ).to_spec()
+    sweep = Sweep(
+        base,
+        axes={
+            "capacity_rps": tuple(capacities),
+            "defense": ("none", "speakup"),
+        },
+    )
     rows: List[Figure3Row] = []
-    for paper_capacity in paper_capacities:
-        capacity = scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients)
-        for defense in ("none", "speakup"):
-            scenario = LanScenario(
-                good_clients=good,
-                bad_clients=bad,
-                capacity_rps=capacity,
-                defense=defense,
-                duration=scale.duration,
-                seed=scale.seed,
+    for record in runner.run(sweep):
+        result = record.result
+        rows.append(
+            Figure3Row(
+                capacity_rps=capacities[record.overrides["capacity_rps"]],
+                speakup_on=(record.overrides["defense"] == "speakup"),
+                good_allocation=result.good_allocation,
+                bad_allocation=result.bad_allocation,
+                good_fraction_served=result.good_fraction_served,
             )
-            result = run_lan_scenario(scenario)
-            rows.append(
-                Figure3Row(
-                    capacity_rps=paper_capacity,
-                    speakup_on=(defense == "speakup"),
-                    good_allocation=result.good_allocation,
-                    bad_allocation=result.bad_allocation,
-                    good_fraction_served=result.good_fraction_served,
-                )
-            )
+        )
     return rows
 
 

@@ -29,10 +29,9 @@ from repro.constants import (
     PAPER_EXPERIMENT_DURATION,
 )
 from repro.errors import ExperimentError
-from repro.clients.population import build_mixed_population
-from repro.core.frontend import Deployment, DeploymentConfig
 from repro.metrics.collector import RunResult
-from repro.simnet.topology import build_lan, uniform_bandwidths
+from repro.scenarios.spec import GroupSpec, ScenarioSpec, TopologySpec, freeze_overrides
+from repro.scenarios.runner import Sweep, SweepRunner
 
 #: Environment variables the benchmark harness reads.
 ENV_DURATION = "REPRO_BENCH_DURATION"
@@ -83,7 +82,11 @@ class ExperimentScale:
 
 @dataclass
 class LanScenario:
-    """A §7.2-style scenario: all clients on a LAN with the thinner."""
+    """A §7.2-style scenario: all clients on a LAN with the thinner.
+
+    This is a convenience facade over :class:`~repro.scenarios.spec.ScenarioSpec`
+    (see :meth:`to_spec`) kept for the common good-vs-bad LAN case.
+    """
 
     good_clients: int
     bad_clients: int
@@ -110,40 +113,57 @@ class LanScenario:
         if self.capacity_rps <= 0:
             raise ExperimentError("capacity must be positive")
 
+    def to_spec(self) -> ScenarioSpec:
+        """The equivalent declarative scenario."""
+        self.validate()
+        groups = ()
+        if self.good_clients:
+            groups += (
+                GroupSpec(
+                    count=self.good_clients,
+                    client_class="good",
+                    bandwidth_bps=self.client_bandwidth_bps,
+                    rate_rps=self.good_rate,
+                    window=self.good_window,
+                ),
+            )
+        if self.bad_clients:
+            groups += (
+                GroupSpec(
+                    count=self.bad_clients,
+                    client_class="bad",
+                    bandwidth_bps=self.client_bandwidth_bps,
+                    rate_rps=self.bad_rate,
+                    window=self.bad_window,
+                ),
+            )
+        return ScenarioSpec(
+            name="lan",
+            topology=TopologySpec(kind="lan"),
+            groups=groups,
+            capacity_rps=self.capacity_rps,
+            defense=self.defense,
+            duration=self.duration,
+            seed=self.seed,
+            encouragement_delay=self.encouragement_delay,
+            config_overrides=freeze_overrides(self.extra_config),
+        )
+
 
 def run_lan_scenario(scenario: LanScenario) -> RunResult:
     """Build, run, and collect one LAN scenario."""
-    scenario.validate()
-    bandwidths = uniform_bandwidths(scenario.total_clients(), scenario.client_bandwidth_bps)
-    topology, hosts, thinner_host = build_lan(bandwidths)
-    config = DeploymentConfig(
-        server_capacity_rps=scenario.capacity_rps,
-        defense=scenario.defense,
-        seed=scenario.seed,
-        encouragement_delay=scenario.encouragement_delay,
-        **scenario.extra_config,
-    )
-    deployment = Deployment(topology, thinner_host, config)
-    build_mixed_population(
-        deployment,
-        hosts,
-        good_count=scenario.good_clients,
-        bad_count=scenario.bad_clients,
-        good_rate=scenario.good_rate,
-        good_window=scenario.good_window,
-        bad_rate=scenario.bad_rate,
-        bad_window=scenario.bad_window,
-    )
-    deployment.run(scenario.duration)
-    return deployment.results()
+    return scenario.to_spec().run()
 
 
-def sweep_seeds(scenario: LanScenario, seeds: Sequence[int]) -> List[RunResult]:
+def sweep_seeds(
+    scenario: LanScenario,
+    seeds: Sequence[int],
+    runner: Optional[SweepRunner] = None,
+) -> List[RunResult]:
     """Run the same scenario under several seeds (for variance estimates)."""
-    results = []
-    for seed in seeds:
-        results.append(run_lan_scenario(replace_scenario_seed(scenario, seed)))
-    return results
+    runner = runner or SweepRunner()
+    records = runner.run(Sweep(scenario.to_spec(), seeds=seeds))
+    return [record.result for record in records]
 
 
 def replace_scenario_seed(scenario: LanScenario, seed: int) -> LanScenario:

@@ -16,15 +16,14 @@ bottlenecked good requests served suffers accordingly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.constants import DEFAULT_CLIENT_BANDWIDTH, MBIT
-from repro.clients.population import build_mixed_population
-from repro.core.frontend import Deployment, DeploymentConfig
 from repro.experiments.base import ExperimentScale
 from repro.metrics.summary import ratio
 from repro.metrics.tables import format_table
-from repro.simnet.topology import build_bottleneck, uniform_bandwidths
+from repro.scenarios.spec import GroupSpec, ScenarioSpec, TopologySpec
+from repro.scenarios.runner import Sweep, SweepRunner
 
 #: Paper-scale parameters.
 PAPER_BEHIND_BOTTLENECK = 30
@@ -52,9 +51,12 @@ class BottleneckRow:
 def figure8_shared_bottleneck(
     scale: ExperimentScale,
     splits: Sequence[Tuple[int, int]] = PAPER_SPLITS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[BottleneckRow]:
     """Reproduce Figure 8 for each good/bad split behind the bottleneck."""
-    rows: List[BottleneckRow] = []
+    if not splits:
+        return []
+    runner = runner or SweepRunner()
     behind = scale.clients(PAPER_BEHIND_BOTTLENECK)
     direct_good = scale.clients(PAPER_DIRECT_GOOD)
     direct_bad = scale.clients(PAPER_DIRECT_BAD)
@@ -63,41 +65,56 @@ def figure8_shared_bottleneck(
     capacity = PAPER_CAPACITY * total_scaled / total_paper
     bottleneck_bandwidth = PAPER_BOTTLENECK_BANDWIDTH * behind / PAPER_BEHIND_BOTTLENECK
 
-    for paper_good_behind, paper_bad_behind in splits:
+    scaled_splits: List[Tuple[int, int]] = []
+    for paper_good_behind, _paper_bad_behind in splits:
         good_behind = max(1, round(behind * paper_good_behind / PAPER_BEHIND_BOTTLENECK))
         good_behind = min(good_behind, behind - 1)
-        bad_behind = behind - good_behind
+        scaled_splits.append((good_behind, behind - good_behind))
 
-        topology, bottlenecked_hosts, direct_hosts, thinner_host, _link = build_bottleneck(
-            bottlenecked_bandwidths_bps=uniform_bandwidths(behind, DEFAULT_CLIENT_BANDWIDTH),
-            direct_bandwidths_bps=uniform_bandwidths(
-                direct_good + direct_bad, DEFAULT_CLIENT_BANDWIDTH
+    base = ScenarioSpec(
+        name="shared-bottleneck",
+        topology=TopologySpec(
+            kind="bottleneck", bottleneck_bandwidth_bps=bottleneck_bandwidth
+        ),
+        groups=(
+            GroupSpec(
+                count=scaled_splits[0][0],
+                client_class="good",
+                bandwidth_bps=DEFAULT_CLIENT_BANDWIDTH,
+                category="bottleneck-good",
+                behind_bottleneck=True,
             ),
-            bottleneck_bandwidth_bps=bottleneck_bandwidth,
-        )
-        config = DeploymentConfig(
-            server_capacity_rps=capacity, defense="speakup", seed=scale.seed
-        )
-        deployment = Deployment(topology, thinner_host, config)
-        build_mixed_population(
-            deployment,
-            bottlenecked_hosts,
-            good_count=good_behind,
-            bad_count=bad_behind,
-            good_category="bottleneck-good",
-            bad_category="bottleneck-bad",
-        )
-        build_mixed_population(
-            deployment,
-            direct_hosts,
-            good_count=direct_good,
-            bad_count=direct_bad,
-            good_category="direct-good",
-            bad_category="direct-bad",
-        )
-        deployment.run(scale.duration)
-        result = deployment.results()
+            GroupSpec(
+                count=scaled_splits[0][1],
+                client_class="bad",
+                bandwidth_bps=DEFAULT_CLIENT_BANDWIDTH,
+                category="bottleneck-bad",
+                behind_bottleneck=True,
+            ),
+            GroupSpec(
+                count=direct_good,
+                client_class="good",
+                bandwidth_bps=DEFAULT_CLIENT_BANDWIDTH,
+                category="direct-good",
+            ),
+            GroupSpec(
+                count=direct_bad,
+                client_class="bad",
+                bandwidth_bps=DEFAULT_CLIENT_BANDWIDTH,
+                category="direct-bad",
+            ),
+        ),
+        capacity_rps=capacity,
+        duration=scale.duration,
+        seed=scale.seed,
+    )
+    records = runner.run(
+        Sweep(base, axes={("groups.0.count", "groups.1.count"): scaled_splits})
+    )
 
+    rows: List[BottleneckRow] = []
+    for record, (good_behind, bad_behind) in zip(records, scaled_splits):
+        result = record.result
         bn_good = result.allocation_by_category.get("bottleneck-good", 0.0)
         bn_bad = result.allocation_by_category.get("bottleneck-bad", 0.0)
         bottleneck_share = bn_good + bn_bad

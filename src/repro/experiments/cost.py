@@ -12,11 +12,12 @@ Mbits/s at paper scale, capacity swept over {50, 100, 200} requests/s):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.allocation import FIGURE3_CAPACITIES, PAPER_CLIENT_COUNT
-from repro.experiments.base import ExperimentScale, LanScenario, run_lan_scenario
+from repro.experiments.base import ExperimentScale, LanScenario
 from repro.metrics.tables import format_table
+from repro.scenarios.runner import Sweep, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -35,26 +36,34 @@ class CostRow:
 def figure4_5_costs(
     scale: ExperimentScale,
     paper_capacities: Sequence[float] = FIGURE3_CAPACITIES,
+    runner: Optional[SweepRunner] = None,
 ) -> List[CostRow]:
     """Measure payment time (Figure 4) and price (Figure 5) across capacities."""
+    if not paper_capacities:
+        return []
+    runner = runner or SweepRunner()
     total_clients = scale.clients(PAPER_CLIENT_COUNT)
     good = total_clients // 2
     bad = total_clients - good
+    capacities = {
+        scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients): paper_capacity
+        for paper_capacity in paper_capacities
+    }
+    base = LanScenario(
+        good_clients=good,
+        bad_clients=bad,
+        capacity_rps=next(iter(capacities)),
+        defense="speakup",
+        duration=scale.duration,
+        seed=scale.seed,
+    ).to_spec()
+    records = runner.run(Sweep(base, axes={"capacity_rps": tuple(capacities)}))
     rows: List[CostRow] = []
-    for paper_capacity in paper_capacities:
-        capacity = scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients)
-        scenario = LanScenario(
-            good_clients=good,
-            bad_clients=bad,
-            capacity_rps=capacity,
-            defense="speakup",
-            duration=scale.duration,
-            seed=scale.seed,
-        )
-        result = run_lan_scenario(scenario)
+    for record in records:
+        result = record.result
         rows.append(
             CostRow(
-                capacity_rps=paper_capacity,
+                capacity_rps=capacities[record.overrides["capacity_rps"]],
                 mean_payment_time=result.good.payment_time.mean,
                 p90_payment_time=result.good.payment_time.p90,
                 mean_price_good_bytes=result.mean_price_by_class.get("good", 0.0),

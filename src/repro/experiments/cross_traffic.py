@@ -19,14 +19,12 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.constants import KBYTE, MBIT, milliseconds
-from repro.clients.good import GoodClient
-from repro.core.frontend import Deployment, DeploymentConfig
 from repro.experiments.base import ExperimentScale
 from repro.httpd.download import DownloadModel
 from repro.metrics.summary import mean, stddev
 from repro.metrics.tables import format_table
 from repro.rng import RandomStream
-from repro.simnet.topology import build_dumbbell, uniform_bandwidths
+from repro.scenarios.registry import build_scenario
 
 #: Paper-scale parameters for §7.7.
 PAPER_SPEAKUP_CLIENTS = 10
@@ -61,17 +59,23 @@ def _build_dumbbell_deployment(scale: ExperimentScale, with_clients: bool):
     # at reduced scale — so never shrink below four.
     clients = max(4, scale.clients(PAPER_SPEAKUP_CLIENTS))
     capacity = PAPER_CAPACITY * clients / PAPER_SPEAKUP_CLIENTS
-    topology, client_hosts, victim, thinner_host, web_server, bottleneck = build_dumbbell(
-        left_bandwidths_bps=uniform_bandwidths(clients, 2 * MBIT),
+    spec = build_scenario(
+        "cross-traffic",
+        speakup_clients=clients if with_clients else 0,
+        capacity_rps=capacity,
         bottleneck_bandwidth_bps=PAPER_BOTTLENECK_BANDWIDTH,
         bottleneck_delay_s=PAPER_BOTTLENECK_DELAY,
+        client_bandwidth_bps=2 * MBIT,
+        duration=scale.duration,
+        seed=scale.seed,
     )
-    config = DeploymentConfig(server_capacity_rps=capacity, defense="speakup", seed=scale.seed)
-    deployment = Deployment(topology, thinner_host, config)
-    if with_clients:
-        for host in client_hosts:
-            GoodClient(deployment, host)
-    model = DownloadModel(deployment.network, victim, web_server, bottleneck)
+    deployment = spec.build()
+    model = DownloadModel(
+        deployment.network,
+        deployment.topology.host("H"),
+        deployment.topology.host("webserver"),
+        deployment.topology.shared_link("m"),
+    )
     return deployment, model
 
 

@@ -16,15 +16,12 @@ largely unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.constants import MBIT, milliseconds
-from repro.clients.population import PopulationSpec, build_population
-from repro.core.frontend import Deployment, DeploymentConfig
 from repro.experiments.base import ExperimentScale
-from repro.metrics.collector import RunResult
 from repro.metrics.tables import format_table
-from repro.simnet.topology import build_lan
+from repro.scenarios.registry import build_scenario
+from repro.scenarios.runner import SweepRunner
 
 #: Paper-scale setup shared by both figures: 5 categories of 10 clients.
 PAPER_CATEGORY_COUNT = 5
@@ -43,47 +40,23 @@ class CategoryRow:
     ideal_allocation: float
 
 
-def _run_categorised(
-    scale: ExperimentScale,
-    bandwidths_mbit: Sequence[float],
-    rtts_ms: Sequence[float],
-    client_class: str,
-    capacity: float,
-    clients_per_category: int,
-) -> RunResult:
-    categories = len(bandwidths_mbit)
-    bandwidths = []
-    delays = []
-    specs = []
-    for index in range(categories):
-        label = f"cat-{index + 1}"
-        bandwidths.extend([bandwidths_mbit[index] * MBIT] * clients_per_category)
-        # Host-attributed extra delay supplies the one-way RTT contribution.
-        delays.extend([milliseconds(rtts_ms[index]) / 2.0] * clients_per_category)
-        specs.append(
-            PopulationSpec(
-                count=clients_per_category,
-                client_class=client_class,
-                category=label,
-            )
-        )
-    topology, hosts, thinner_host = build_lan(bandwidths, client_delays_s=delays)
-    config = DeploymentConfig(server_capacity_rps=capacity, defense="speakup", seed=scale.seed)
-    deployment = Deployment(topology, thinner_host, config)
-    build_population(deployment, hosts, specs)
-    deployment.run(scale.duration)
-    return deployment.results()
-
-
-def figure6_bandwidth_heterogeneity(scale: ExperimentScale) -> List[CategoryRow]:
+def figure6_bandwidth_heterogeneity(
+    scale: ExperimentScale, runner: Optional[SweepRunner] = None
+) -> List[CategoryRow]:
     """Reproduce Figure 6: allocation across bandwidth categories, all good."""
+    runner = runner or SweepRunner()
     clients_per_category = max(1, scale.clients(PAPER_CLIENTS_PER_CATEGORY))
     capacity = PAPER_CAPACITY * (clients_per_category / PAPER_CLIENTS_PER_CATEGORY)
     bandwidths_mbit = [0.5 * (index + 1) for index in range(PAPER_CATEGORY_COUNT)]
-    rtts_ms = [0.0] * PAPER_CATEGORY_COUNT
-    result = _run_categorised(
-        scale, bandwidths_mbit, rtts_ms, "good", capacity, clients_per_category
+    spec = build_scenario(
+        "bandwidth-tiers",
+        clients_per_category=clients_per_category,
+        categories=PAPER_CATEGORY_COUNT,
+        capacity_rps=capacity,
+        duration=scale.duration,
+        seed=scale.seed,
     )
+    result = runner.run_specs([spec])[0]
     total_bandwidth = sum(bandwidths_mbit)
     rows = []
     for index, bandwidth in enumerate(bandwidths_mbit):
@@ -101,16 +74,26 @@ def figure6_bandwidth_heterogeneity(scale: ExperimentScale) -> List[CategoryRow]
 
 
 def figure7_rtt_heterogeneity(
-    scale: ExperimentScale, client_class: str = "good"
+    scale: ExperimentScale,
+    client_class: str = "good",
+    runner: Optional[SweepRunner] = None,
 ) -> List[CategoryRow]:
     """Reproduce one series of Figure 7 (``client_class`` is "good" or "bad")."""
+    runner = runner or SweepRunner()
     clients_per_category = max(1, scale.clients(PAPER_CLIENTS_PER_CATEGORY))
     capacity = PAPER_CAPACITY * (clients_per_category / PAPER_CLIENTS_PER_CATEGORY)
-    bandwidths_mbit = [2.0] * PAPER_CATEGORY_COUNT
     rtts_ms = [100.0 * (index + 1) for index in range(PAPER_CATEGORY_COUNT)]
-    result = _run_categorised(
-        scale, bandwidths_mbit, rtts_ms, client_class, capacity, clients_per_category
+    spec = build_scenario(
+        "rtt-tiers",
+        clients_per_category=clients_per_category,
+        categories=PAPER_CATEGORY_COUNT,
+        capacity_rps=capacity,
+        client_class=client_class,
+        rtt_step_ms=100.0,
+        duration=scale.duration,
+        seed=scale.seed,
     )
+    result = runner.run_specs([spec])[0]
     rows = []
     for index, rtt in enumerate(rtts_ms):
         label = f"cat-{index + 1}"

@@ -13,6 +13,7 @@ The quantities mirror what the paper's figures report:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -48,6 +49,39 @@ class ClassMetrics:
     def demand_served_fraction(self) -> float:
         """Fraction of *all issued* requests that were served (stricter)."""
         return ratio(self.served, self.issued)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dictionary that :meth:`from_dict` can rebuild."""
+        return {
+            "client_class": self.client_class,
+            "clients": self.clients,
+            "aggregate_bandwidth_bps": self.aggregate_bandwidth_bps,
+            "issued": self.issued,
+            "served": self.served,
+            "denied": self.denied,
+            "dropped": self.dropped,
+            "bytes_paid": self.bytes_paid,
+            "payment_time": self.payment_time.as_dict(),
+            "response_time": self.response_time.as_dict(),
+            "mean_price_bytes": self.mean_price_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassMetrics":
+        """Rebuild class metrics serialised by :meth:`to_dict`."""
+        return cls(
+            client_class=data["client_class"],
+            clients=int(data.get("clients", 0)),
+            aggregate_bandwidth_bps=float(data.get("aggregate_bandwidth_bps", 0.0)),
+            issued=int(data.get("issued", 0)),
+            served=int(data.get("served", 0)),
+            denied=int(data.get("denied", 0)),
+            dropped=int(data.get("dropped", 0)),
+            bytes_paid=float(data.get("bytes_paid", 0.0)),
+            payment_time=Summary.from_dict(data.get("payment_time", {})),
+            response_time=Summary.from_dict(data.get("response_time", {})),
+            mean_price_bytes=float(data.get("mean_price_bytes", 0.0)),
+        )
 
 
 @dataclass
@@ -121,6 +155,74 @@ class RunResult:
             "auctions_held": self.auctions_held,
             "server_utilisation": self.server_utilisation,
         }
+
+    # -- stable serialisation (the sweep results store's schema) -----------------
+
+    def to_dict(self) -> dict:
+        """Full structured dictionary; :meth:`from_dict` round-trips it.
+
+        Unlike :meth:`as_dict` (a flat view for printing), this captures every
+        field, so it is the stable schema the sweep results store and the CLI
+        ``--out`` files use.
+        """
+        return {
+            "duration": self.duration,
+            "defense": self.defense,
+            "server_capacity_rps": self.server_capacity_rps,
+            "good": self.good.to_dict(),
+            "bad": self.bad.to_dict(),
+            "total_served": self.total_served,
+            "server_busy_time": self.server_busy_time,
+            "allocation_by_class": dict(self.allocation_by_class),
+            "busy_allocation_by_class": dict(self.busy_allocation_by_class),
+            "allocation_by_category": dict(self.allocation_by_category),
+            "served_by_category": dict(self.served_by_category),
+            "served_fraction_by_category": dict(self.served_fraction_by_category),
+            "mean_price_by_class": dict(self.mean_price_by_class),
+            "price_upper_bound_bytes": self.price_upper_bound_bytes,
+            "auctions_held": self.auctions_held,
+            "free_admissions": self.free_admissions,
+            "payment_bytes_sunk": self.payment_bytes_sunk,
+            "good_bandwidth_bps": self.good_bandwidth_bps,
+            "bad_bandwidth_bps": self.bad_bandwidth_bps,
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """The :meth:`to_dict` schema rendered as a JSON document."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result serialised by :meth:`to_dict`."""
+        return cls(
+            duration=float(data["duration"]),
+            defense=data["defense"],
+            server_capacity_rps=float(data["server_capacity_rps"]),
+            good=ClassMetrics.from_dict(data["good"]),
+            bad=ClassMetrics.from_dict(data["bad"]),
+            total_served=int(data.get("total_served", 0)),
+            server_busy_time=float(data.get("server_busy_time", 0.0)),
+            allocation_by_class=dict(data.get("allocation_by_class", {})),
+            busy_allocation_by_class=dict(data.get("busy_allocation_by_class", {})),
+            allocation_by_category=dict(data.get("allocation_by_category", {})),
+            served_by_category={
+                key: int(value)
+                for key, value in data.get("served_by_category", {}).items()
+            },
+            served_fraction_by_category=dict(data.get("served_fraction_by_category", {})),
+            mean_price_by_class=dict(data.get("mean_price_by_class", {})),
+            price_upper_bound_bytes=float(data.get("price_upper_bound_bytes", 0.0)),
+            auctions_held=int(data.get("auctions_held", 0)),
+            free_admissions=int(data.get("free_admissions", 0)),
+            payment_bytes_sunk=float(data.get("payment_bytes_sunk", 0.0)),
+            good_bandwidth_bps=float(data.get("good_bandwidth_bps", 0.0)),
+            bad_bandwidth_bps=float(data.get("bad_bandwidth_bps", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "RunResult":
+        """Rebuild a result from a :meth:`to_json` document."""
+        return cls.from_dict(json.loads(document))
 
 
 def _collect_class(deployment, client_class: str) -> ClassMetrics:

@@ -69,6 +69,20 @@ class Summary:
             "p99": self.p99,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Summary":
+        """Rebuild a summary serialised by :meth:`as_dict`."""
+        return cls(
+            count=int(data.get("count", 0)),
+            mean=float(data.get("mean", 0.0)),
+            stddev=float(data.get("stddev", 0.0)),
+            minimum=float(data.get("min", 0.0)),
+            maximum=float(data.get("max", 0.0)),
+            p50=float(data.get("p50", 0.0)),
+            p90=float(data.get("p90", 0.0)),
+            p99=float(data.get("p99", 0.0)),
+        )
+
 
 def summarise(values: Sequence[float]) -> Summary:
     """Full summary of a sample set (empty sets produce all-zero summaries)."""

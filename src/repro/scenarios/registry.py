@@ -1,0 +1,455 @@
+"""Named scenario factories: the paper's setups plus new workloads.
+
+Every factory returns a :class:`~repro.scenarios.spec.ScenarioSpec` and takes
+only JSON-friendly keyword arguments, so the registry is the vocabulary of
+the sweep CLI (``speakup-repro sweep --scenario NAME``) as well as of the
+experiment modules.  Counts and capacities default to the paper's §7 scale;
+callers (tests, benchmarks) shrink them via the factory arguments.
+
+Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
+``rtt-tiers`` (Figure 7), ``shared-bottleneck`` (Figure 8), ``cross-traffic``
+(Figure 9).  New workloads: ``flash-crowd``, ``pulsed-attack``,
+``diurnal-demand``, and ``uplink-tiers``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.constants import (
+    DEFAULT_CLIENT_BANDWIDTH,
+    MBIT,
+    milliseconds,
+)
+from repro.errors import ExperimentError
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    GroupSpec,
+    ScenarioSpec,
+    TopologySpec,
+    freeze_overrides,
+)
+
+_REGISTRY: Dict[str, Callable[..., ScenarioSpec]] = {}
+
+
+def register(name: str) -> Callable[[Callable[..., ScenarioSpec]], Callable[..., ScenarioSpec]]:
+    """Class-level decorator registering a factory under ``name``."""
+
+    def decorator(factory: Callable[..., ScenarioSpec]) -> Callable[..., ScenarioSpec]:
+        if name in _REGISTRY:
+            raise ExperimentError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scenario_description(name: str) -> str:
+    """First line of the factory's docstring (for CLI listings)."""
+    factory = _factory(name)
+    doc = (factory.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def build_scenario(name: str, **overrides) -> ScenarioSpec:
+    """Build the named scenario, passing ``overrides`` to its factory."""
+    factory = _factory(name)
+    try:
+        return factory(**overrides)
+    except TypeError as exc:
+        raise ExperimentError(f"bad arguments for scenario {name!r}: {exc}") from None
+
+
+def _factory(name: str) -> Callable[..., ScenarioSpec]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; known scenarios: {', '.join(scenario_names())}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# The paper's setups
+# ---------------------------------------------------------------------------
+
+
+@register("lan-baseline")
+def lan_baseline(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    good_rate: Optional[float] = None,
+    good_window: Optional[int] = None,
+    bad_rate: Optional[float] = None,
+    bad_window: Optional[int] = None,
+    duration: float = 60.0,
+    seed: int = 0,
+    encouragement_delay: float = 0.0,
+    config_overrides: Optional[dict] = None,
+) -> ScenarioSpec:
+    """Good and bad clients on one LAN (the §7.2-§7.4 workhorse)."""
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=good_rate,
+                window=good_window,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=bad_rate,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="lan-baseline",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+        encouragement_delay=encouragement_delay,
+        config_overrides=freeze_overrides(config_overrides or {}),
+    )
+
+
+@register("bandwidth-tiers")
+def bandwidth_tiers(
+    clients_per_category: int = 10,
+    categories: int = 5,
+    capacity_rps: float = 10.0,
+    client_class: str = "good",
+    base_bandwidth_bps: float = 0.5 * MBIT,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Figure 6: bandwidth category ``i`` uploads at ``i`` x the base rate."""
+    groups = tuple(
+        GroupSpec(
+            count=clients_per_category,
+            client_class=client_class,
+            bandwidth_bps=base_bandwidth_bps * (index + 1),
+            category=f"cat-{index + 1}",
+        )
+        for index in range(categories)
+    )
+    return ScenarioSpec(
+        name="bandwidth-tiers",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("rtt-tiers")
+def rtt_tiers(
+    clients_per_category: int = 10,
+    categories: int = 5,
+    capacity_rps: float = 10.0,
+    client_class: str = "good",
+    rtt_step_ms: float = 100.0,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Figure 7: RTT category ``i`` sits ``i * rtt_step_ms`` ms from the thinner."""
+    groups = tuple(
+        GroupSpec(
+            count=clients_per_category,
+            client_class=client_class,
+            bandwidth_bps=client_bandwidth_bps,
+            category=f"cat-{index + 1}",
+            # Host-attributed one-way delay supplies half the RTT contribution.
+            extra_delay_s=milliseconds(rtt_step_ms * (index + 1)) / 2.0,
+        )
+        for index in range(categories)
+    )
+    return ScenarioSpec(
+        name="rtt-tiers",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("shared-bottleneck")
+def shared_bottleneck(
+    good_behind: int = 15,
+    bad_behind: int = 15,
+    direct_good: int = 10,
+    direct_bad: int = 10,
+    bottleneck_bandwidth_bps: float = 40 * MBIT,
+    capacity_rps: float = 50.0,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Figure 8: a good/bad mix reaches the thinner through shared cable ``l``."""
+    groups: Tuple[GroupSpec, ...] = ()
+    for count, client_class, category, behind in (
+        (good_behind, "good", "bottleneck-good", True),
+        (bad_behind, "bad", "bottleneck-bad", True),
+        (direct_good, "good", "direct-good", False),
+        (direct_bad, "bad", "direct-bad", False),
+    ):
+        if count:
+            groups += (
+                GroupSpec(
+                    count=count,
+                    client_class=client_class,
+                    bandwidth_bps=client_bandwidth_bps,
+                    category=category,
+                    behind_bottleneck=behind,
+                ),
+            )
+    return ScenarioSpec(
+        name="shared-bottleneck",
+        topology=TopologySpec(
+            kind="bottleneck", bottleneck_bandwidth_bps=bottleneck_bandwidth_bps
+        ),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("cross-traffic")
+def cross_traffic(
+    speakup_clients: int = 10,
+    capacity_rps: float = 2.0,
+    bottleneck_bandwidth_bps: float = 1 * MBIT,
+    bottleneck_delay_s: float = milliseconds(100.0),
+    client_bandwidth_bps: float = 2 * MBIT,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Figure 9: speak-up clients share dumbbell cable ``m`` with bystander ``H``."""
+    groups: Tuple[GroupSpec, ...] = ()
+    if speakup_clients:
+        groups += (
+            GroupSpec(
+                count=speakup_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    return ScenarioSpec(
+        name="cross-traffic",
+        topology=TopologySpec(
+            kind="dumbbell",
+            bottleneck_bandwidth_bps=bottleneck_bandwidth_bps,
+            bottleneck_delay_s=bottleneck_delay_s,
+        ),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        duration=duration,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# New workloads beyond the paper
+# ---------------------------------------------------------------------------
+
+
+@register("flash-crowd")
+def flash_crowd(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    flash_start_s: Optional[float] = None,
+    flash_ramp_s: Optional[float] = None,
+    baseline_fraction: float = 0.1,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """A legitimate flash crowd arrives mid-attack and ramps to full demand.
+
+    Good demand idles at ``baseline_fraction`` of its peak until
+    ``flash_start_s`` (default: a third of the run), then ramps linearly over
+    ``flash_ramp_s`` (default: a tenth of the run) to the full §7.1 rate while
+    the attackers fire steadily throughout.
+    """
+    start = duration / 3.0 if flash_start_s is None else flash_start_s
+    ramp = duration / 10.0 if flash_ramp_s is None else flash_ramp_s
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                arrival=ArrivalSpec(
+                    kind="flash", start_s=start, ramp_s=ramp, floor=baseline_fraction
+                ),
+            ),
+        )
+    if bad_clients:
+        groups += (GroupSpec(count=bad_clients, client_class="bad"),)
+    return ScenarioSpec(
+        name="flash-crowd",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("pulsed-attack")
+def pulsed_attack(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    pulse_period_s: float = 10.0,
+    pulse_on_s: float = 5.0,
+    pulse_floor: float = 0.0,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """On-off attackers pulse at full rate for ``pulse_on_s`` of every period.
+
+    Models the classic pulsed/shrew-style attacker that alternates between
+    silence and full-rate request floods while good demand stays steady.
+    """
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (GroupSpec(count=good_clients, client_class="good"),)
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                arrival=ArrivalSpec(
+                    kind="onoff",
+                    period_s=pulse_period_s,
+                    on_s=pulse_on_s,
+                    floor=pulse_floor,
+                ),
+            ),
+        )
+    return ScenarioSpec(
+        name="pulsed-attack",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("diurnal-demand")
+def diurnal_demand(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    day_length_s: Optional[float] = None,
+    trough_fraction: float = 0.2,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Good demand follows a compressed diurnal curve; the attack never sleeps.
+
+    The "day" defaults to the run duration, so one run covers one trough-to-
+    trough cycle with the demand peak mid-run.
+    """
+    day = duration if day_length_s is None else day_length_s
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                arrival=ArrivalSpec(kind="diurnal", period_s=day, floor=trough_fraction),
+            ),
+        )
+    if bad_clients:
+        groups += (GroupSpec(count=bad_clients, client_class="bad"),)
+    return ScenarioSpec(
+        name="diurnal-demand",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("uplink-tiers")
+def uplink_tiers(
+    clients_per_tier: int = 6,
+    tier_bandwidths_mbit: Sequence[float] = (0.5, 2.0, 10.0, 50.0),
+    bad_fraction: float = 0.5,
+    capacity_rps: float = 50.0,
+    defense: str = "speakup",
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Good and bad clients spread across realistic access-uplink tiers.
+
+    Each tier (DSL through fibre) holds ``clients_per_tier`` clients of which
+    ``bad_fraction`` are attackers, probing how speak-up's bandwidth-
+    proportional allocation treats a heterogeneous clientele under attack.
+    """
+    if not 0.0 <= bad_fraction <= 1.0:
+        raise ExperimentError(f"bad_fraction must be in [0, 1], got {bad_fraction}")
+    groups: Tuple[GroupSpec, ...] = ()
+    for index, mbit in enumerate(tier_bandwidths_mbit):
+        bad = round(clients_per_tier * bad_fraction)
+        good = clients_per_tier - bad
+        label = f"tier-{index + 1}"
+        if good:
+            groups += (
+                GroupSpec(
+                    count=good,
+                    client_class="good",
+                    bandwidth_bps=mbit * MBIT,
+                    category=label,
+                ),
+            )
+        if bad:
+            groups += (
+                GroupSpec(
+                    count=bad,
+                    client_class="bad",
+                    bandwidth_bps=mbit * MBIT,
+                    category=label,
+                ),
+            )
+    return ScenarioSpec(
+        name="uplink-tiers",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )

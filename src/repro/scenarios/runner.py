@@ -1,0 +1,279 @@
+"""Parameter sweeps over scenarios, run serially or across cores.
+
+A :class:`Sweep` expands a base :class:`~repro.scenarios.spec.ScenarioSpec`
+into a grid of scenario points (axis values x seed replicates) and a
+:class:`SweepRunner` executes the points, serially or with a
+``multiprocessing`` pool.  Every point is a pure function of its spec — each
+run owns its engine and derives every random stream from the point's seed —
+so serial and parallel execution produce bit-identical results.
+
+Replicate seeds are deterministic substreams of the base seed (via
+:func:`repro.rng.derive_seed`), which keeps replicate ``k`` of a point stable
+no matter how many replicates run or in what order.
+
+The results store (:func:`save_results` / :func:`load_results`) writes one
+JSON document whose records pair each point's overrides and spec with its
+:class:`~repro.metrics.collector.RunResult`, the stable schema the CLI's
+``sweep --out`` files use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import RunResult
+from repro.rng import derive_seed
+from repro.scenarios.spec import ScenarioSpec
+
+#: An axis key: one spec path, or a tuple of paths varied together.
+AxisKey = Union[str, Tuple[str, ...]]
+
+#: Results-store schema version.
+RESULTS_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved run of a sweep: a spec plus how it was derived."""
+
+    index: int
+    replicate: int
+    overrides: Tuple[Tuple[str, Any], ...]
+    spec: ScenarioSpec
+
+
+class Sweep:
+    """A parameter grid (plus seed replicates) over a base scenario.
+
+    ``axes`` maps spec paths (see :meth:`ScenarioSpec.with_value`) to value
+    sequences; a tuple-of-paths key varies several fields together (its
+    values must be tuples of the same length).  Axes combine as a full cross
+    product in insertion order.
+
+    Seeds: pass ``seeds`` for explicit root seeds, or ``replicates=k`` to
+    derive ``k`` deterministic substream seeds from the base spec's seed.
+    Default is one run at the base seed.  Gridding an axis over ``"seed"``
+    itself is also allowed (the axis then controls the seed directly), but
+    not in combination with ``seeds``/``replicates``.
+    """
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        axes: Optional[Mapping[AxisKey, Sequence[Any]]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        replicates: Optional[int] = None,
+    ) -> None:
+        if seeds is not None and replicates is not None:
+            raise ExperimentError("pass either seeds or replicates, not both")
+        if replicates is not None and replicates < 1:
+            raise ExperimentError(f"replicates must be at least 1, got {replicates}")
+        self.base = base
+        self.axes: Dict[AxisKey, Tuple[Any, ...]] = {}
+        for key, values in (axes or {}).items():
+            values = tuple(values)
+            if not values:
+                raise ExperimentError(f"axis {key!r} has no values")
+            if isinstance(key, tuple):
+                for value in values:
+                    if not isinstance(value, tuple) or len(value) != len(key):
+                        raise ExperimentError(
+                            f"composite axis {key!r} needs tuples of {len(key)} values"
+                        )
+            self.axes[key] = values
+        axis_paths = {
+            path
+            for key in self.axes
+            for path in (key if isinstance(key, tuple) else (key,))
+        }
+        self._seed_swept = "seed" in axis_paths
+        if self._seed_swept and (seeds is not None or replicates is not None):
+            raise ExperimentError(
+                "a 'seed' axis cannot be combined with seeds/replicates"
+            )
+        if seeds is not None:
+            self.seeds: Tuple[int, ...] = tuple(int(seed) for seed in seeds)
+            if not self.seeds:
+                raise ExperimentError("seeds must not be empty")
+        elif replicates is not None:
+            self.seeds = tuple(
+                derive_seed(base.seed, f"replicate:{index}") for index in range(replicates)
+            )
+        else:
+            self.seeds = (base.seed,)
+
+    def point_count(self) -> int:
+        count = len(self.seeds)
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid into concrete scenario points, in deterministic order."""
+        points: List[SweepPoint] = []
+        keys = list(self.axes)
+        index = 0
+        for combo in itertools.product(*(self.axes[key] for key in keys)):
+            assignments: List[Tuple[str, Any]] = []
+            for key, value in zip(keys, combo):
+                if isinstance(key, tuple):
+                    assignments.extend(zip(key, value))
+                else:
+                    assignments.append((key, value))
+            spec = self.base
+            for path, value in assignments:
+                spec = spec.with_value(path, value)
+            if self._seed_swept:
+                # The axis already set the seed; do not clobber it.
+                points.append(
+                    SweepPoint(
+                        index=index,
+                        replicate=0,
+                        overrides=tuple(assignments),
+                        spec=spec,
+                    )
+                )
+                index += 1
+                continue
+            for replicate, seed in enumerate(self.seeds):
+                points.append(
+                    SweepPoint(
+                        index=index,
+                        replicate=replicate,
+                        overrides=tuple(assignments) + (("seed", seed),),
+                        spec=spec.with_seed(seed),
+                    )
+                )
+                index += 1
+        return points
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepRecord:
+    """One executed sweep point: where it came from and what it measured."""
+
+    index: int
+    scenario: str
+    replicate: int
+    seed: int
+    overrides: Dict[str, Any]
+    spec: ScenarioSpec
+    result: RunResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "scenario": self.scenario,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "overrides": dict(self.overrides),
+            "spec": self.spec.to_dict(),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepRecord":
+        return cls(
+            index=int(data["index"]),
+            scenario=data.get("scenario", ""),
+            replicate=int(data.get("replicate", 0)),
+            seed=int(data.get("seed", 0)),
+            overrides=dict(data.get("overrides", {})),
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            result=RunResult.from_dict(data["result"]),
+        )
+
+
+def run_spec(spec: ScenarioSpec) -> RunResult:
+    """Execute one scenario (module-level so worker processes can import it)."""
+    return spec.run()
+
+
+class SweepRunner:
+    """Executes sweeps, serially (``jobs=1``) or with a process pool."""
+
+    def __init__(self, jobs: int = 1, start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be at least 1, got {jobs}")
+        self.jobs = jobs
+        self.start_method = start_method
+
+    def run_specs(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+        """Run a list of scenarios, preserving order."""
+        if self.jobs == 1 or len(specs) <= 1:
+            return [run_spec(spec) for spec in specs]
+        context = multiprocessing.get_context(self.start_method)
+        workers = min(self.jobs, len(specs))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(run_spec, specs)
+
+    def run(self, sweep: Sweep) -> List[SweepRecord]:
+        """Expand and execute a sweep, returning one record per point."""
+        points = sweep.points()
+        results = self.run_specs([point.spec for point in points])
+        return [
+            SweepRecord(
+                index=point.index,
+                scenario=point.spec.name,
+                replicate=point.replicate,
+                seed=point.spec.seed,
+                overrides={path: value for path, value in point.overrides},
+                spec=point.spec,
+                result=result,
+            )
+            for point, result in zip(points, results)
+        ]
+
+
+def default_jobs() -> int:
+    """A sensible parallel width: the machine's cores, at least 1."""
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# The JSON results store
+# ---------------------------------------------------------------------------
+
+
+def results_document(records: Sequence[SweepRecord]) -> Dict[str, Any]:
+    """The JSON document :func:`save_results` writes."""
+    return {
+        "version": RESULTS_VERSION,
+        "records": [record.to_dict() for record in records],
+    }
+
+
+def save_results(records: Sequence[SweepRecord], path: str) -> None:
+    """Write sweep records to ``path`` as one JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results_document(records), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path: str) -> List[SweepRecord]:
+    """Read sweep records written by :func:`save_results`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("version")
+    if version != RESULTS_VERSION:
+        raise ExperimentError(
+            f"unsupported results version {version!r} in {path!r} "
+            f"(expected {RESULTS_VERSION})"
+        )
+    return [SweepRecord.from_dict(entry) for entry in document.get("records", [])]

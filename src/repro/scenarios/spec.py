@@ -1,0 +1,491 @@
+"""Scenarios as data: frozen, JSON-serialisable descriptions of a whole run.
+
+A :class:`ScenarioSpec` captures everything a run needs — topology, client
+population, defense, deployment knobs, duration, and seed — as plain frozen
+dataclasses, so a scenario can be hashed, pickled to a worker process,
+written to a results file, and rebuilt from JSON bit-for-bit.  ``build()``
+turns the spec into a ready :class:`~repro.core.frontend.Deployment`;
+``run()`` executes it and returns the :class:`~repro.metrics.collector.RunResult`.
+
+Non-steady demand (flash crowds, pulsed attackers, diurnal load) is part of
+the data model too: each client group carries an :class:`ArrivalSpec` whose
+multiplier shapes the group's non-homogeneous Poisson arrival process.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.constants import DEFAULT_CLIENT_BANDWIDTH
+from repro.errors import ExperimentError
+from repro.clients.population import PopulationSpec, build_population
+from repro.core.frontend import DEFENSES, Deployment, DeploymentConfig
+from repro.metrics.collector import RunResult
+from repro.simnet.topology import (
+    DEFAULT_LAN_DELAY,
+    DEFAULT_THINNER_BANDWIDTH,
+    build_bottleneck,
+    build_dumbbell,
+    build_lan,
+)
+
+#: Topology shapes a spec can describe (the paper's three Emulab setups).
+TOPOLOGY_KINDS = ("lan", "bottleneck", "dumbbell")
+
+#: Arrival-process shapes a client group can follow.
+ARRIVAL_KINDS = ("steady", "onoff", "flash", "diurnal")
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How a group's demand varies over the run.
+
+    ``rate_rps`` on the group is the *peak* Poisson rate; the modulator maps
+    simulated time to a multiplier in [0, 1] and arrivals are realised by
+    thinning, so runs stay deterministic under a fixed seed.
+
+    * ``steady``  — the paper's workload: a constant-rate Poisson process.
+    * ``onoff``   — pulsed demand: full rate for ``on_s`` seconds out of every
+      ``period_s`` (shifted by ``phase_s``), ``floor`` otherwise.  Models
+      on-off/pulsed attackers.
+    * ``flash``   — ``floor`` until ``start_s``, then a linear ramp over
+      ``ramp_s`` seconds up to the full rate.  Models a flash crowd.
+    * ``diurnal`` — a raised-cosine day: trough ``floor`` at ``phase_s``
+      offsets of the ``period_s``-second "day", peak mid-period.
+    """
+
+    kind: str = "steady"
+    period_s: float = 0.0
+    on_s: float = 0.0
+    phase_s: float = 0.0
+    start_s: float = 0.0
+    ramp_s: float = 0.0
+    floor: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ExperimentError(
+                f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}"
+            )
+        if not 0.0 <= self.floor <= 1.0:
+            raise ExperimentError(f"arrival floor must be in [0, 1], got {self.floor}")
+        if self.kind == "onoff":
+            if self.period_s <= 0:
+                raise ExperimentError("onoff arrivals need a positive period_s")
+            if not 0 < self.on_s <= self.period_s:
+                raise ExperimentError("onoff arrivals need 0 < on_s <= period_s")
+        if self.kind == "diurnal" and self.period_s <= 0:
+            raise ExperimentError("diurnal arrivals need a positive period_s")
+        if self.kind == "flash" and (self.start_s < 0 or self.ramp_s < 0):
+            raise ExperimentError("flash arrivals need non-negative start_s and ramp_s")
+
+    def modulator(self) -> Optional[Callable[[float], float]]:
+        """The multiplier function, or None for a steady process."""
+        self.validate()
+        if self.kind == "steady":
+            return None
+        if self.kind == "onoff":
+            period, on, phase, floor = self.period_s, self.on_s, self.phase_s, self.floor
+
+            def onoff(now: float) -> float:
+                return 1.0 if ((now + phase) % period) < on else floor
+
+            return onoff
+        if self.kind == "flash":
+            start, ramp, floor = self.start_s, self.ramp_s, self.floor
+
+            def flash(now: float) -> float:
+                if now < start:
+                    return floor
+                if ramp <= 0 or now >= start + ramp:
+                    return 1.0
+                return floor + (1.0 - floor) * (now - start) / ramp
+
+            return flash
+        period, phase, floor = self.period_s, self.phase_s, self.floor
+
+        def diurnal(now: float) -> float:
+            cycle = ((now + phase) % period) / period
+            return floor + (1.0 - floor) * 0.5 * (1.0 - math.cos(2.0 * math.pi * cycle))
+
+        return diurnal
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ArrivalSpec":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Population groups
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One homogeneous group of clients in a scenario.
+
+    ``rate_rps``/``window`` default per class (the paper's §7.1 parameters).
+    ``behind_bottleneck`` places the group behind the shared cable in
+    ``bottleneck`` topologies; ``extra_delay_s`` adds one-way host delay in
+    ``lan`` topologies (the Figure 7 RTT knob).
+    """
+
+    count: int
+    client_class: str = "good"
+    bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH
+    rate_rps: Optional[float] = None
+    window: Optional[int] = None
+    category: Optional[str] = None
+    extra_delay_s: float = 0.0
+    behind_bottleneck: bool = False
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+
+    def validate(self) -> None:
+        if self.count < 0:
+            raise ExperimentError(f"group count must be non-negative, got {self.count}")
+        if self.client_class not in ("good", "bad"):
+            raise ExperimentError(f"unknown client class {self.client_class!r}")
+        if self.bandwidth_bps <= 0:
+            raise ExperimentError("group bandwidth_bps must be positive")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ExperimentError("group rate_rps must be positive when given")
+        if self.window is not None and self.window < 1:
+            raise ExperimentError("group window must be at least 1 when given")
+        if self.extra_delay_s < 0:
+            raise ExperimentError("group extra_delay_s must be non-negative")
+        self.arrival.validate()
+
+    def population_spec(self) -> PopulationSpec:
+        """The runtime population entry this group expands to."""
+        return PopulationSpec(
+            count=self.count,
+            client_class=self.client_class,
+            rate_rps=self.rate_rps,
+            window=self.window,
+            category=self.category,
+            rate_modulator=self.arrival.modulator(),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GroupSpec":
+        payload = dict(data)
+        arrival = payload.pop("arrival", None)
+        if isinstance(arrival, dict):
+            payload["arrival"] = ArrivalSpec.from_dict(arrival)
+        elif isinstance(arrival, ArrivalSpec):
+            payload["arrival"] = arrival
+        return cls(**payload)
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which of the paper's topology shapes to build, and its link parameters.
+
+    * ``lan`` (§7.2–§7.5): every client and the thinner on one switch;
+    * ``bottleneck`` (§7.6): groups flagged ``behind_bottleneck`` reach the
+      core through a shared cable of ``bottleneck_bandwidth_bps``;
+    * ``dumbbell`` (§7.7): all clients plus a victim host ``H`` behind the
+      shared cable, the thinner and a web server ``S`` on the far side.
+    """
+
+    kind: str = "lan"
+    lan_delay_s: float = DEFAULT_LAN_DELAY
+    thinner_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH
+    bottleneck_bandwidth_bps: float = 0.0
+    bottleneck_delay_s: float = DEFAULT_LAN_DELAY
+    web_server_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH
+
+    def validate(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ExperimentError(
+                f"unknown topology kind {self.kind!r}; expected one of {TOPOLOGY_KINDS}"
+            )
+        if self.lan_delay_s < 0 or self.bottleneck_delay_s < 0:
+            raise ExperimentError("topology delays must be non-negative")
+        if self.thinner_bandwidth_bps <= 0 or self.web_server_bandwidth_bps <= 0:
+            raise ExperimentError("topology bandwidths must be positive")
+        if self.kind in ("bottleneck", "dumbbell") and self.bottleneck_bandwidth_bps <= 0:
+            raise ExperimentError(
+                f"{self.kind!r} topologies need a positive bottleneck_bandwidth_bps"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologySpec":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# The scenario itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, runnable description of one simulation run.
+
+    ``config_overrides`` holds extra :class:`DeploymentConfig` keyword
+    arguments as a sorted tuple of (name, value) pairs, which keeps the spec
+    hashable; :meth:`from_dict` accepts either that form or a plain mapping.
+    """
+
+    name: str = "scenario"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    groups: Tuple[GroupSpec, ...] = ()
+    capacity_rps: float = 100.0
+    defense: str = "speakup"
+    duration: float = 60.0
+    seed: int = 0
+    encouragement_delay: float = 0.0
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        self.topology.validate()
+        for group in self.groups:
+            group.validate()
+        if self.capacity_rps <= 0:
+            raise ExperimentError("capacity_rps must be positive")
+        if self.duration <= 0:
+            raise ExperimentError("duration must be positive")
+        if self.defense not in DEFENSES:
+            raise ExperimentError(
+                f"unknown defense {self.defense!r}; expected one of {DEFENSES}"
+            )
+        if self.encouragement_delay < 0:
+            raise ExperimentError("encouragement_delay must be non-negative")
+        if self.total_clients() == 0 and self.topology.kind != "dumbbell":
+            raise ExperimentError("scenario needs at least one client")
+        if self.topology.kind != "lan" and any(g.extra_delay_s for g in self.groups):
+            raise ExperimentError("extra_delay_s is only supported on lan topologies")
+        if self.topology.kind != "bottleneck" and any(
+            g.behind_bottleneck for g in self.groups
+        ):
+            raise ExperimentError(
+                "behind_bottleneck groups need a 'bottleneck' topology"
+            )
+        if self.topology.kind == "bottleneck" and not any(
+            g.behind_bottleneck and g.count for g in self.groups
+        ):
+            raise ExperimentError(
+                "'bottleneck' topologies need at least one behind_bottleneck client"
+            )
+
+    # -- derived views ----------------------------------------------------------
+
+    def total_clients(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    def clients_of_class(self, client_class: str) -> int:
+        return sum(g.count for g in self.groups if g.client_class == client_class)
+
+    # -- functional updates -------------------------------------------------------
+
+    def with_value(self, path: str, value: Any) -> "ScenarioSpec":
+        """A copy with the (possibly nested) field at ``path`` replaced.
+
+        Paths use dots; numeric components index into ``groups``, e.g.
+        ``"capacity_rps"``, ``"groups.1.window"``, or
+        ``"topology.bottleneck_bandwidth_bps"``.
+        """
+        return _replace_path(self, path.split("."), value, path)
+
+    def with_values(self, assignments: Dict[str, Any]) -> "ScenarioSpec":
+        """A copy with several :meth:`with_value` updates applied in order."""
+        spec = self
+        for path, value in assignments.items():
+            spec = spec.with_value(path, value)
+        return spec
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """The same scenario under a different root seed."""
+        return replace(self, seed=seed)
+
+    # -- building and running ------------------------------------------------------
+
+    def deployment_config(self) -> DeploymentConfig:
+        return DeploymentConfig(
+            server_capacity_rps=self.capacity_rps,
+            defense=self.defense,
+            seed=self.seed,
+            encouragement_delay=self.encouragement_delay,
+            **dict(self.config_overrides),
+        )
+
+    def build(self) -> Deployment:
+        """Materialise the scenario: topology, deployment, and population."""
+        self.validate()
+        config = self.deployment_config()
+
+        if self.topology.kind == "lan":
+            ordered = self.groups
+            bandwidths: List[float] = []
+            delays: List[float] = []
+            for group in ordered:
+                bandwidths.extend([group.bandwidth_bps] * group.count)
+                delays.extend([group.extra_delay_s] * group.count)
+            topology, hosts, thinner_host = build_lan(
+                bandwidths,
+                client_delays_s=delays if any(delays) else None,
+                thinner_bandwidth_bps=self.topology.thinner_bandwidth_bps,
+                lan_delay_s=self.topology.lan_delay_s,
+                name=self.name,
+            )
+        elif self.topology.kind == "bottleneck":
+            behind = tuple(g for g in self.groups if g.behind_bottleneck)
+            direct = tuple(g for g in self.groups if not g.behind_bottleneck)
+            ordered = behind + direct
+            behind_bw = [g.bandwidth_bps for g in behind for _ in range(g.count)]
+            direct_bw = [g.bandwidth_bps for g in direct for _ in range(g.count)]
+            topology, behind_hosts, direct_hosts, thinner_host, _link = build_bottleneck(
+                bottlenecked_bandwidths_bps=behind_bw,
+                direct_bandwidths_bps=direct_bw,
+                bottleneck_bandwidth_bps=self.topology.bottleneck_bandwidth_bps,
+                bottleneck_delay_s=self.topology.bottleneck_delay_s,
+                thinner_bandwidth_bps=self.topology.thinner_bandwidth_bps,
+                lan_delay_s=self.topology.lan_delay_s,
+                name=self.name,
+            )
+            hosts = list(behind_hosts) + list(direct_hosts)
+        else:  # dumbbell
+            ordered = self.groups
+            bandwidths = [g.bandwidth_bps for g in ordered for _ in range(g.count)]
+            topology, hosts, _victim, thinner_host, _web, _link = build_dumbbell(
+                left_bandwidths_bps=bandwidths,
+                bottleneck_bandwidth_bps=self.topology.bottleneck_bandwidth_bps,
+                bottleneck_delay_s=self.topology.bottleneck_delay_s,
+                thinner_bandwidth_bps=self.topology.thinner_bandwidth_bps,
+                web_server_bandwidth_bps=self.topology.web_server_bandwidth_bps,
+                lan_delay_s=self.topology.lan_delay_s,
+                name=self.name,
+            )
+
+        deployment = Deployment(topology, thinner_host, config)
+        build_population(
+            deployment, hosts, [group.population_spec() for group in ordered]
+        )
+        return deployment
+
+    def run(self) -> RunResult:
+        """Build the scenario, run it for ``duration`` seconds, collect metrics."""
+        deployment = self.build()
+        deployment.run(self.duration)
+        return deployment.results()
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dictionary that :meth:`from_dict` rebuilds exactly."""
+        return {
+            "name": self.name,
+            "topology": asdict(self.topology),
+            "groups": [asdict(group) for group in self.groups],
+            "capacity_rps": self.capacity_rps,
+            "defense": self.defense,
+            "duration": self.duration,
+            "seed": self.seed,
+            "encouragement_delay": self.encouragement_delay,
+            "config_overrides": {key: value for key, value in self.config_overrides},
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        payload = dict(data)
+        topology = payload.pop("topology", None)
+        if isinstance(topology, dict):
+            payload["topology"] = TopologySpec.from_dict(topology)
+        elif isinstance(topology, TopologySpec):
+            payload["topology"] = topology
+        groups = payload.pop("groups", ())
+        payload["groups"] = tuple(
+            group if isinstance(group, GroupSpec) else GroupSpec.from_dict(group)
+            for group in groups
+        )
+        payload["config_overrides"] = freeze_overrides(
+            payload.get("config_overrides", ())
+        )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(document))
+
+
+def freeze_overrides(overrides: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise config overrides (mapping or pair sequence) to a sorted tuple."""
+    if overrides is None:
+        return ()
+    if isinstance(overrides, dict):
+        pairs = [tuple(pair) for pair in overrides.items()]
+    else:
+        if isinstance(overrides, str) or not hasattr(overrides, "__iter__"):
+            raise ExperimentError(
+                f"config_overrides must be a mapping or (name, value) pairs, "
+                f"got {overrides!r}"
+            )
+        pairs = []
+        for entry in overrides:
+            if isinstance(entry, str) or not hasattr(entry, "__iter__"):
+                raise ExperimentError(
+                    f"config_overrides entries must be (name, value) pairs, "
+                    f"got {entry!r}"
+                )
+            pair = tuple(entry)
+            if len(pair) != 2:
+                raise ExperimentError(
+                    f"config_overrides entries must be (name, value) pairs, "
+                    f"got {entry!r}"
+                )
+            pairs.append(pair)
+    return tuple(sorted((str(key), value) for key, value in pairs))
+
+
+# ---------------------------------------------------------------------------
+# Dotted-path replacement over nested frozen dataclasses
+# ---------------------------------------------------------------------------
+
+
+def _replace_path(obj: Any, parts: Sequence[str], value: Any, full_path: str) -> Any:
+    head, rest = parts[0], parts[1:]
+    if isinstance(obj, tuple):
+        try:
+            index = int(head)
+        except ValueError:
+            raise ExperimentError(
+                f"expected a group index at {head!r} in path {full_path!r}"
+            ) from None
+        if not 0 <= index < len(obj):
+            raise ExperimentError(
+                f"index {index} out of range in path {full_path!r} "
+                f"(have {len(obj)} entries)"
+            )
+        items = list(obj)
+        items[index] = value if not rest else _replace_path(
+            items[index], rest, value, full_path
+        )
+        return tuple(items)
+    known = {f.name for f in fields(obj)}
+    if head not in known:
+        raise ExperimentError(
+            f"unknown field {head!r} in path {full_path!r} on {type(obj).__name__} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    if not rest:
+        return replace(obj, **{head: value})
+    return replace(obj, **{head: _replace_path(getattr(obj, head), rest, value, full_path)})

@@ -22,9 +22,10 @@ class Event:
     :meth:`Engine.schedule_after` so the caller can cancel them later.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict):
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict,
+                 engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -32,10 +33,15 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -54,6 +60,10 @@ class Event:
 class Engine:
     """A deterministic discrete-event engine with a simulated clock."""
 
+    #: Compact the queue when cancelled events outnumber live ones (and the
+    #: queue is big enough for a rebuild to be worth the heapify).
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._queue: list[Event] = []
@@ -61,6 +71,7 @@ class Engine:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._cancelled_in_queue = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -76,8 +87,25 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (not cancelled) events still in the queue."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    # -- cancellation bookkeeping ----------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts the heap when it is mostly dead."""
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_QUEUE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and rebuild the heap in place."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
 
     # -- scheduling ------------------------------------------------------------
 
@@ -87,7 +115,7 @@ class Engine:
             raise SchedulingError(
                 f"cannot schedule event at t={time:.6f}, which is before now={self._now:.6f}"
             )
-        event = Event(time, self._seq, callback, args, kwargs)
+        event = Event(time, self._seq, callback, args, kwargs, engine=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -109,6 +137,7 @@ class Engine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = event.time
             event.fired = True
@@ -134,6 +163,7 @@ class Engine:
                 next_event = self._queue[0]
                 if next_event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_in_queue -= 1
                     continue
                 if until is not None and next_event.time > until:
                     break

@@ -8,9 +8,11 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("demo", "figure2", "figure3", "costs", "figure6", "figure7",
-                    "figure8", "figure9", "advantage", "windows", "capacity"):
-        args = parser.parse_args([command] if command in ("demo", "capacity")
-                                 else [command, "--duration", "5"])
+                    "figure8", "figure9", "advantage", "windows", "capacity",
+                    "scenarios", "sweep"):
+        args = parser.parse_args(
+            [command] if command in ("demo", "capacity", "scenarios", "sweep")
+            else [command, "--duration", "5"])
         assert args.command == command
 
 
@@ -41,3 +43,49 @@ def test_figure2_command_runs_at_tiny_scale(capsys):
 def test_unknown_command_is_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-command"])
+
+
+def test_scenarios_command_lists_registry(capsys):
+    exit_code = main(["scenarios"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    for name in ("lan-baseline", "flash-crowd", "pulsed-attack", "diurnal-demand"):
+        assert name in output
+
+
+def test_sweep_command_runs_grid_and_writes_results(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    exit_code = main([
+        "sweep", "--scenario", "lan-baseline",
+        "--set", "good_clients=2", "--set", "bad_clients=2",
+        "--set", "capacity_rps=10", "--set", "duration=5",
+        "--grid", "defense=speakup,none",
+        "--replicates", "2",
+        "--out", str(out),
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "4 runs" in output
+    assert "defense=speakup" in output and "defense=none" in output
+
+    from repro.scenarios import load_results
+    records = load_results(str(out))
+    assert len(records) == 4
+    assert {record.spec.defense for record in records} == {"speakup", "none"}
+
+
+def test_bad_numeric_arguments_exit_cleanly(capsys):
+    exit_code = main(["demo", "--good", "2", "--bad", "2", "--duration", "-3"])
+    assert exit_code == 2
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_sweep_rejects_unknown_scenario_and_bad_grid(capsys):
+    assert main(["sweep", "--scenario", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert main(["sweep", "--grid", "bogus"]) == 2
+    assert "--grid" in capsys.readouterr().err
+    assert main(["sweep", "--seeds", "1,x"]) == 2
+    assert "--seeds" in capsys.readouterr().err

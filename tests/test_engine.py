@@ -179,3 +179,48 @@ def test_events_always_fire_in_nondecreasing_time_order(times):
     engine.run()
     assert observed == sorted(observed)
     assert len(observed) == len(times)
+
+
+def test_pending_events_counts_only_live_events():
+    engine = Engine()
+    events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(10)]
+    assert engine.pending_events == 10
+    for event in events[:4]:
+        event.cancel()
+    assert engine.pending_events == 6
+    # Double-cancel does not double-count.
+    events[0].cancel()
+    assert engine.pending_events == 6
+    engine.run()
+    assert engine.pending_events == 0
+    assert engine.events_processed == 6
+
+
+def test_heap_compacts_when_mostly_cancelled():
+    engine = Engine()
+    keep = 10
+    total = max(engine.COMPACT_MIN_QUEUE * 2, 200)
+    events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(total)]
+    for event in events[keep:]:
+        event.cancel()
+    # The queue was rebuilt without the cancelled majority: below the
+    # compaction threshold rather than still holding all `total` entries.
+    assert len(engine._queue) < engine.COMPACT_MIN_QUEUE
+    assert engine.pending_events == keep
+    fired = engine.drain()
+    assert fired == keep
+
+
+def test_compaction_preserves_firing_order():
+    engine = Engine()
+    observed = []
+    total = 256
+    events = [
+        engine.schedule_at(float(i + 1), observed.append, i) for i in range(total)
+    ]
+    survivors = [i for i in range(total) if i % 3 == 0]
+    for index, event in enumerate(events):
+        if index % 3 != 0:
+            event.cancel()
+    engine.run()
+    assert observed == survivors

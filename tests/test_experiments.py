@@ -140,3 +140,20 @@ def test_thinner_sink_capacity_measures_positive_rates():
     assert results[0].mbits_per_second > results[1].mbits_per_second
     with pytest.raises(ExperimentError):
         measure_sink_rate(0)
+
+
+def test_window_sweep_survives_all_bad_population():
+    # At extreme down-scales the good-client count rounds to zero and the
+    # bad group becomes the scenario's first (only) group.
+    tiny = ExperimentScale(duration=5.0, client_scale=0.02, seed=0)
+    rows = window_sweep(tiny, windows=(1, 20))
+    assert [row.window for row in rows] == [1, 20]
+
+
+def test_empty_parameter_sequences_yield_empty_rows():
+    from repro.experiments.cost import figure4_5_costs
+
+    assert figure2_allocation(SCALE, fractions=()) == []
+    assert figure3_provisioning(SCALE, paper_capacities=()) == []
+    assert figure4_5_costs(SCALE, paper_capacities=()) == []
+    assert figure8_shared_bottleneck(SCALE, splits=()) == []

@@ -131,3 +131,25 @@ def test_collector_category_breakdown():
     assert sum(result.allocation_by_category.values()) == pytest.approx(1.0)
     for fraction in result.served_fraction_by_category.values():
         assert 0.0 <= fraction <= 1.0
+
+
+def test_run_result_round_trips_through_json():
+    from repro import quick_demo
+    from repro.metrics.collector import RunResult
+
+    result = quick_demo(good_clients=2, bad_clients=2, capacity_rps=8.0,
+                        duration=6.0, seed=4)
+    restored = RunResult.from_json(result.to_json())
+    assert restored.to_dict() == result.to_dict()
+    # Derived headline numbers survive the round trip too.
+    assert restored.good_allocation == result.good_allocation
+    assert restored.good.served_fraction == result.good.served_fraction
+    assert restored.good.payment_time.p90 == result.good.payment_time.p90
+
+
+def test_class_metrics_round_trip_defaults_missing_fields():
+    from repro.metrics.collector import ClassMetrics
+
+    metrics = ClassMetrics.from_dict({"client_class": "good"})
+    assert metrics.served == 0
+    assert metrics.payment_time.count == 0
