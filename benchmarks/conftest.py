@@ -2,7 +2,8 @@
 
 Every benchmark regenerates one of the paper's tables or figures at a
 configurable scale and prints the resulting rows/series, so the output can
-be compared side by side with the paper (see EXPERIMENTS.md).
+be compared side by side with the paper (the README's "Reproducing the
+paper's figures" table maps each figure to its benchmark).
 
 Scale control (environment variables):
 

@@ -11,8 +11,15 @@ The package is organised as:
 * :mod:`repro.defenses` — baseline defenses for comparison;
 * :mod:`repro.analysis` — the paper's closed-form results;
 * :mod:`repro.metrics` — run metrics, summaries, table rendering;
-* :mod:`repro.experiments` — one module per table/figure of the evaluation;
+* :mod:`repro.scenarios` — scenarios as frozen data (:class:`ScenarioSpec`),
+  the named registry, and the parallel sweep runner + results store;
+* :mod:`repro.experiments` — one module per table/figure of the evaluation,
+  each expressed as a scenario grid;
+* :mod:`repro.perf` — hot-path counters and the tracked benchmark suite
+  behind ``BENCH_speakup.json``;
 * :mod:`repro.cli` — command-line access to the experiments.
+
+See ``docs/ARCHITECTURE.md`` for the full map tied to the paper's sections.
 
 Quickstart::
 

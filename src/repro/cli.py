@@ -13,9 +13,13 @@ Examples::
     speakup-repro advantage        # section 7.4
     speakup-repro capacity         # section 7.1 analogue
     speakup-repro scenarios        # list the named scenarios
+    speakup-repro scenarios --doc  # emit the docs/SCENARIOS.md gallery
     speakup-repro sweep --scenario lan-baseline \\
         --set good_clients=10 --set bad_clients=10 --set capacity_rps=40 \\
         --grid defense=speakup,none --replicates 3 --jobs 4 --out results.json
+    speakup-repro bench            # run the pinned perf suite, append to
+                                   # BENCH_speakup.json
+    speakup-repro bench --quick --check   # CI: fail on events/sec regression
 """
 
 from __future__ import annotations
@@ -94,7 +98,46 @@ def build_parser() -> argparse.ArgumentParser:
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
 
-    subparsers.add_parser("scenarios", help="list the named scenarios in the registry")
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list the named scenarios in the registry"
+    )
+    scenarios.add_argument(
+        "--doc",
+        action="store_true",
+        help="emit the full markdown scenario gallery (docs/SCENARIOS.md)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the pinned perf suite and track it in BENCH_speakup.json",
+        description=(
+            "Run the pinned three-scale benchmark suite (lan-small, "
+            "tiers-medium, stress-mega), print events/sec plus the hot-path "
+            "counters, and append a dated entry to the tracked results file "
+            "so the performance trajectory accumulates across commits."
+        ),
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced scales (CI smoke; entries are tagged 'quick')")
+    bench.add_argument("--label", default="",
+                       help="free-form label stored with the entry")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="results file (default: ./BENCH_speakup.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the last committed entry of the same "
+                            "mode instead of appending; exit 3 on regression")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="allowed regression for --check (default 0.30)")
+    bench.add_argument("--check-signal", choices=["all", "work"], default="all",
+                       help="--check signals: 'all' (events/sec + work ratio) or "
+                            "'work' (machine-independent flows-touched-per-event "
+                            "only; use when the committed baseline was recorded "
+                            "on a different machine, e.g. in CI)")
+    bench.add_argument("--no-save", action="store_true",
+                       help="print the measurements without touching the file")
+    bench.add_argument("--fresh-out", default=None, metavar="FILE",
+                       help="also write just this run's entry to FILE "
+                            "(e.g. a CI artifact), in any mode")
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -220,8 +263,64 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench as perf
+
+    out = args.out or perf.BENCH_FILENAME
+    tolerance = perf.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    mode = "quick" if args.quick else "full"
+    baseline = None
+    if args.check:
+        # Fail before the (potentially minutes-long) suite runs, not after.
+        baseline = perf.latest_entry(perf.load_document(out), mode)
+        if baseline is None:
+            raise ReproError(
+                f"no committed {mode!r} baseline entry in {out!r} to check against"
+            )
+    measurements = perf.run_bench(
+        quick=args.quick,
+        progress=lambda name: print(f"bench: running {name} ...", file=sys.stderr),
+    )
+    print(format_table(
+        headers=["case", "clients", "sim_s", "wall_s", "events", "events/s",
+                 "waterfills", "flows/call", "cache_hits"],
+        rows=perf.format_measurements(measurements),
+        title=f"Pinned perf suite ({'quick' if args.quick else 'full'} mode)",
+    ))
+
+    # One entry for the run, shared by --fresh-out and the tracked file so
+    # the artifact and the appended entry carry the same timestamp.
+    entry = perf.make_entry(measurements, label=args.label, quick=args.quick)
+    if args.fresh_out:
+        perf.save_document(
+            args.fresh_out, {"version": perf.BENCH_VERSION, "entries": [entry]}
+        )
+
+    if args.check:
+        problems = perf.check_regression(
+            measurements, baseline, tolerance=tolerance, signals=args.check_signal
+        )
+        if problems:
+            for problem in problems:
+                print(f"bench: REGRESSION: {problem}", file=sys.stderr)
+            return 3
+        print(f"bench: no regression vs entry {baseline.get('date', '?')} "
+              f"(tolerance {tolerance:.0%}, signals: {args.check_signal})")
+        return 0
+
+    if not args.no_save:
+        perf.append_entry(out, entry)
+        print(f"bench: appended entry {entry['date']} to {out}")
+    return 0
+
+
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "scenarios":
+        if args.doc:
+            from repro.scenarios.registry import scenario_markdown
+
+            print(scenario_markdown(), end="")
+            return 0
         print(format_table(
             headers=["scenario", "description"],
             rows=[(name, scenario_description(name)) for name in scenario_names()],
@@ -231,6 +330,9 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.command == "demo":
         result = quick_demo(

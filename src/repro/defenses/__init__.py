@@ -5,9 +5,9 @@ over-provisioning, detect-and-block (profiling, rate-limiting, CAPTCHAs,
 capabilities), and currency schemes (proof-of-work, money, and — speak-up's
 contribution — bandwidth).  This subpackage implements simplified but
 functional versions of the detect-and-block and proof-of-work baselines so
-the ablation benchmark (A4 in DESIGN.md) can compare them against speak-up
-under the threat model the paper assumes (spoofing, smart bots, unequal
-requests).
+the ablation benchmarks (``benchmarks/bench_ablation_baselines.py``) can
+compare them against speak-up under the threat model the paper assumes
+(spoofing, smart bots, unequal requests).
 
 Each defense is a thinner variant; attach one to a deployment with::
 

@@ -11,8 +11,9 @@ that the thinner's CPU is not the bottleneck during an attack.
 simulated thinner uses (credit a chunk of dummy bytes to a contending
 request's balance, occasionally consult the going rate) in a tight loop of
 real wall-clock time and reports the achieved rate in Mbits/s for the
-paper's two chunk sizes.  EXPERIMENTS.md reports these figures alongside the
-paper's, labelled as an analogue rather than a like-for-like number.
+paper's two chunk sizes.  ``speakup-repro capacity`` prints these figures;
+they are an analogue of the paper's §7.1 numbers, not a like-for-like
+comparison with the C++/OKWS prototype.
 """
 
 from __future__ import annotations

@@ -56,7 +56,7 @@ def format_table(
 def format_comparison(
     label: str, paper_value: float, measured_value: float, unit: str = ""
 ) -> str:
-    """One paper-vs-measured line for EXPERIMENTS.md style reporting."""
+    """One "paper=X measured=Y" comparison line for experiment reports."""
     suffix = f" {unit}" if unit else ""
     return (
         f"{label}: paper={paper_value:.3f}{suffix} "

@@ -1,0 +1,54 @@
+"""Hot-path instrumentation counters for the fluid simulator.
+
+:class:`SimCounters` is a leaf data type (stdlib only, no repro imports) so
+the bottom :mod:`repro.simnet` layer can depend on it without creating a
+cycle.  The network increments these counters on its rate-reallocation path;
+the bench harness (:mod:`repro.perf.bench`) snapshots them per run and writes
+them next to wall-clock throughput in ``BENCH_speakup.json``, which is what
+turns "the hot path got faster" from a claim into a tracked trajectory:
+
+* ``reallocations``    — how many flow-set changes requested a rate update;
+* ``flushes``          — how many batched recomputations actually ran (with
+  the dirty-set scheme many reallocations collapse into one flush);
+* ``waterfill_calls``  — progressive-filling invocations;
+* ``flows_touched``    — total flows handed to waterfill (the per-recompute
+  component size is ``flows_touched / waterfill_calls``);
+* ``cache_hits`` / ``cache_misses`` — component-signature rate-cache traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SimCounters:
+    """Cheap mutable counters incremented on the simulator's hot path."""
+
+    __slots__ = (
+        "reallocations",
+        "flushes",
+        "waterfill_calls",
+        "flows_touched",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.reallocations = 0
+        self.flushes = 0
+        self.waterfill_calls = 0
+        self.flows_touched = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON-ready)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)}" for name in self.__slots__)
+        return f"SimCounters({fields})"

@@ -9,11 +9,13 @@ callers (tests, benchmarks) shrink them via the factory arguments.
 Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``rtt-tiers`` (Figure 7), ``shared-bottleneck`` (Figure 8), ``cross-traffic``
 (Figure 9).  New workloads: ``flash-crowd``, ``pulsed-attack``,
-``diurnal-demand``, and ``uplink-tiers``.
+``diurnal-demand``, ``uplink-tiers``, and the perf-harness workload
+``stress-mega``.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import (
@@ -73,6 +75,100 @@ def _factory(name: str) -> Callable[..., ScenarioSpec]:
         raise ExperimentError(
             f"unknown scenario {name!r}; known scenarios: {', '.join(scenario_names())}"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# The generated scenario gallery (docs/SCENARIOS.md)
+# ---------------------------------------------------------------------------
+
+
+def _format_bandwidth(bps: float) -> str:
+    return f"{bps / MBIT:g} Mbit/s"
+
+
+def _format_default(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (tuple, list)):
+        return "(" + ", ".join(_format_default(v) for v in value) + ")"
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+def scenario_markdown() -> str:
+    """The scenario gallery as markdown (``speakup-repro scenarios --doc``).
+
+    Rendered entirely from the registry — each scenario's docstring, its
+    factory knobs with their defaults, and the topology/client mix of the
+    spec the factory builds at those defaults — so ``docs/SCENARIOS.md`` can
+    be regenerated (and is tested to be regenerable) from the code alone.
+    """
+    lines: List[str] = [
+        "# Scenario gallery",
+        "",
+        "All named scenarios in the registry (`repro.scenarios.registry`), with",
+        "their topology, client mix, and factory knobs at default values.",
+        "",
+        "> Auto-generated — do not edit by hand.  Regenerate with:",
+        ">",
+        "> ```sh",
+        "> PYTHONPATH=src python -m repro.cli scenarios --doc > docs/SCENARIOS.md",
+        "> ```",
+        "",
+        "Run any scenario with `speakup-repro sweep --scenario NAME`; every knob",
+        "below is a `--set KEY=VALUE` argument.",
+        "",
+    ]
+    for name in scenario_names():
+        factory = _REGISTRY[name]
+        spec = factory()
+        doc = inspect.getdoc(factory) or ""
+        lines.append(f"## `{name}`")
+        lines.append("")
+        if doc:
+            lines.extend(doc.splitlines())
+            lines.append("")
+
+        topology = spec.topology
+        topo_bits = [f"kind `{topology.kind}`"]
+        if topology.kind in ("bottleneck", "dumbbell"):
+            topo_bits.append(
+                f"shared cable {_format_bandwidth(topology.bottleneck_bandwidth_bps)}"
+                f" / {topology.bottleneck_delay_s * 1e3:g} ms"
+            )
+        lines.append(f"**Topology:** {', '.join(topo_bits)}.")
+        lines.append("")
+
+        lines.append("**Client mix (at defaults):**")
+        lines.append("")
+        lines.append("| count | class | bandwidth | rate (rps) | window | arrival | category |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for group in spec.groups:
+            lines.append(
+                "| {count} | {cls} | {bw} | {rate} | {window} | {arrival} | {cat} |".format(
+                    count=group.count,
+                    cls=group.client_class,
+                    bw=_format_bandwidth(group.bandwidth_bps),
+                    rate="class default" if group.rate_rps is None else f"{group.rate_rps:g}",
+                    window="class default" if group.window is None else group.window,
+                    arrival=group.arrival.kind,
+                    cat=group.category or "-",
+                )
+            )
+        lines.append("")
+
+        lines.append("**Knobs:**")
+        lines.append("")
+        lines.append("| knob | default |")
+        lines.append("|---|---|")
+        for parameter in inspect.signature(factory).parameters.values():
+            default = (
+                "required"
+                if parameter.default is inspect.Parameter.empty
+                else f"`{_format_default(parameter.default)}`"
+            )
+            lines.append(f"| `{parameter.name}` | {default} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
 
 
 # ---------------------------------------------------------------------------
@@ -446,6 +542,58 @@ def uplink_tiers(
             )
     return ScenarioSpec(
         name="uplink-tiers",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("stress-mega")
+def stress_mega(
+    good_clients: int = 4500,
+    bad_clients: int = 500,
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    bad_window: int = 10,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    duration: float = 0.25,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Perf-harness stress workload: thousands of clients hammering one thinner.
+
+    Not a paper figure — this is the ``repro.cli bench`` mega scale.  It keeps
+    the §7.1 client parameters but multiplies the population to ≥5k clients
+    (4500 good + 500 bad by default, the bad ones window-limited so the run
+    stays auction-bound rather than degenerating into pure backlog sweeping),
+    which exercises the fluid network's rate-reallocation hot path far beyond
+    the paper's 50-host Emulab scale: thousands of concurrent payment flows
+    whose aggregate static bounds approach the thinner's provisioned access
+    bandwidth, the regime where naive potential-load accounting collapses
+    every rate update into a global recomputation.
+    """
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="stress-mega",
         topology=TopologySpec(kind="lan"),
         groups=groups,
         capacity_rps=capacity_rps,

@@ -18,8 +18,27 @@ from typing import Dict, Iterable, Mapping, Sequence
 from repro.simnet.flow import Flow
 from repro.simnet.link import Link
 
-#: Rates below this are treated as zero to avoid scheduling completion events
-#: absurdly far in the future because of floating-point dust.
+#: The allocator's float-comparison tolerance, in bits/s.  It plays three
+#: distinct roles, all of them guards against floating-point dust rather
+#: than model parameters:
+#:
+#: * in :func:`waterfill`, a link is saturated when its remaining capacity
+#:   drops to ``RATE_EPSILON`` and a flow is capped when its rate climbs to
+#:   within ``RATE_EPSILON`` of its ceiling — without the slack, residue
+#:   from the incremental fill could leave a constraint "almost" binding
+#:   and the loop unable to freeze anyone;
+#: * final rates below ``RATE_EPSILON`` are snapped to exactly zero so a
+#:   completion event is never scheduled astronomically far in the future;
+#: * in :meth:`FluidNetwork._apply_rates
+#:   <repro.simnet.network.FluidNetwork._apply_rates>`, a rate change
+#:   smaller than ``RATE_EPSILON`` is treated as "unchanged", which keeps a
+#:   recomputation that reproduces the same allocation from cancelling and
+#:   re-scheduling every completion event in the component (the heap churn,
+#:   not the arithmetic, is what would hurt).
+#:
+#: 1e-9 bits/s is roughly one bit per 30 simulated years — far below
+#: anything the model can observe, far above double-precision noise on the
+#: Mbit/s-scale quantities involved.
 RATE_EPSILON = 1e-9
 
 

@@ -5,12 +5,31 @@ a monotonically increasing sequence number (so that events scheduled for the
 same instant fire in scheduling order, which keeps runs deterministic).
 Everything else in the package — flows completing, auctions firing, clients
 issuing requests — is expressed as engine events.
+
+Two hot-path design points:
+
+* The heap stores ``(time, seq, event)`` tuples rather than bare
+  :class:`Event` objects, so every sift comparison is a C-level tuple
+  compare of two floats/ints instead of a Python-level ``Event.__lt__``
+  call (which would also allocate two tuples per comparison).
+* Cancellation is lazy: :meth:`Event.cancel` only flags the event, and the
+  engine skips flagged entries when they surface.  When cancelled events
+  outnumber live ones (heap-compaction), the queue is rebuilt in place —
+  see :attr:`Engine.COMPACT_MIN_QUEUE` for the exact policy.
+
+The engine also hosts the *flush hook* protocol used by the fluid network's
+deferred rate recomputation: components register a callback via
+:meth:`Engine.add_flush_callback` and arm it with :meth:`Engine.request_flush`
+whenever they have deferred work; the engine guarantees every armed flush
+runs before the simulated clock next advances (before each event fires and
+before a ``run(until=...)`` fast-forwards an idle clock), which is exactly
+the window in which deferred rate updates are still exact.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError
 
@@ -24,12 +43,14 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict,
-                 engine: Optional["Engine"] = None):
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple,
+                 kwargs: Optional[dict], engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
+        #: ``None`` (not ``{}``) when the callback takes no keyword arguments;
+        #: the common case then skips the ``**`` unpacking entirely.
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
@@ -66,12 +87,15 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: list[Event] = []
+        #: Heap of ``(time, seq, Event)`` entries; see the module docstring.
+        self._queue: list = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self._events_processed = 0
         self._cancelled_in_queue = 0
+        self._needs_flush = False
+        self._flush_callbacks: List[Callable[[], None]] = []
 
     # -- clock ---------------------------------------------------------------
 
@@ -90,6 +114,28 @@ class Engine:
         """Number of live (not cancelled) events still in the queue."""
         return len(self._queue) - self._cancelled_in_queue
 
+    # -- deferred-work flushing -------------------------------------------------
+
+    def add_flush_callback(self, callback: Callable[[], None]) -> None:
+        """Register a callback to run before the clock next advances.
+
+        The callback fires only after :meth:`request_flush` arms it, and the
+        engine disarms before calling, so a callback that defers new work
+        re-arms naturally.  Used by
+        :class:`~repro.simnet.network.FluidNetwork` to batch rate
+        recomputation; see that class for the dirty-set protocol.
+        """
+        self._flush_callbacks.append(callback)
+
+    def request_flush(self) -> None:
+        """Arm the registered flush callbacks (idempotent, O(1))."""
+        self._needs_flush = True
+
+    def _flush(self) -> None:
+        self._needs_flush = False
+        for callback in self._flush_callbacks:
+            callback()
+
     # -- cancellation bookkeeping ----------------------------------------------
 
     def _note_cancelled(self) -> None:
@@ -102,8 +148,13 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled events and rebuild the heap in place."""
-        self._queue = [event for event in self._queue if not event.cancelled]
+        """Drop cancelled events and rebuild the heap in place.
+
+        In place matters: the run loop holds a reference to the queue list,
+        so compaction must mutate it (slice assignment) rather than rebind
+        ``self._queue``.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
 
@@ -115,9 +166,10 @@ class Engine:
             raise SchedulingError(
                 f"cannot schedule event at t={time:.6f}, which is before now={self._now:.6f}"
             )
-        event = Event(time, self._seq, callback, args, kwargs, engine=self)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, kwargs or None, engine=self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def schedule_after(self, delay: float, callback: Callable, *args, **kwargs) -> Event:
@@ -134,15 +186,22 @@ class Engine:
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        if self._needs_flush:
+            self._flush()
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 self._cancelled_in_queue -= 1
                 continue
-            self._now = event.time
+            self._now = time
             event.fired = True
             self._events_processed += 1
-            event.callback(*event.args, **event.kwargs)
+            kwargs = event.kwargs
+            if kwargs:
+                event.callback(*event.args, **kwargs)
+            else:
+                event.callback(*event.args)
             return True
         return False
 
@@ -156,19 +215,40 @@ class Engine:
         self._running = True
         self._stopped = False
         fired = 0
+        queue = self._queue
         try:
-            while self._queue and not self._stopped:
+            while True:
+                if self._needs_flush:
+                    # Re-evaluate every exit condition after flushing: the
+                    # flush may itself schedule events within the horizon
+                    # (or re-arm the flag), and every break below must be
+                    # taken on settled state — otherwise the final clock
+                    # advance could strand an event in the past.
+                    self._flush()
+                    continue
+                if not queue or self._stopped:
+                    break
                 if max_events is not None and fired >= max_events:
                     break
-                next_event = self._queue[0]
-                if next_event.cancelled:
-                    heapq.heappop(self._queue)
+                entry = queue[0]
+                event = entry[2]
+                if event.cancelled:
+                    heapq.heappop(queue)
                     self._cancelled_in_queue -= 1
                     continue
-                if until is not None and next_event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                if self.step():
-                    fired += 1
+                heapq.heappop(queue)
+                self._now = time
+                event.fired = True
+                self._events_processed += 1
+                kwargs = event.kwargs
+                if kwargs:
+                    event.callback(*event.args, **kwargs)
+                else:
+                    event.callback(*event.args)
+                fired += 1
         finally:
             self._running = False
         if until is not None and self._now < until:

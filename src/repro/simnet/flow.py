@@ -67,6 +67,9 @@ class Flow:
         "on_rate_change",
         "_last_integration",
         "_completion_event",
+        "_path_ids",
+        "_path_min_cap",
+        "_bound",
         "owner",
     )
 
@@ -102,6 +105,14 @@ class Flow:
         self.on_rate_change: Optional[Callable[["Flow"], None]] = None
         self._last_integration: float = 0.0
         self._completion_event = None
+        #: Immutable per-path precomputations the allocator's hot loops use:
+        #: the links' identities (dict-key ints, paired with ``path`` by
+        #: index) and the narrowest capacity along the path.
+        self._path_ids = tuple(id(link) for link in self.path)
+        self._path_min_cap = min(link.capacity_bps for link in self.path)
+        #: Static rate bound maintained by the owning network while active:
+        #: ``min(path capacities, rate cap)``.
+        self._bound = 0.0
         #: Arbitrary back-reference for higher layers (e.g. the payment
         #: channel that owns this flow).
         self.owner = None

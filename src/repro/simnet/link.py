@@ -8,19 +8,52 @@ represented by a :class:`DuplexLink`, which is simply a pair of directed
 in all of the paper's experiments (e.g. §7.7's bottleneck is congested in the
 upload direction by payment traffic while the download direction carries the
 victim transfer).
+
+Runtime bookkeeping lives directly on the link as ``__slots__`` fields
+(rather than in side dictionaries on the network), so the allocator's hot
+path reads and writes plain attributes:
+
+* ``_flows`` — the active flows currently crossing the link;
+* ``_potential`` — the link's *potential load* in bits/s, an upper bound on
+  the aggregate rate its flows could ever jointly push through it.  A link
+  whose capacity covers its potential load can never saturate and therefore
+  never constrains anyone, which is what keeps rate recomputation scoped to
+  a small component of the network (see
+  :class:`~repro.simnet.network.FluidNetwork`).
+* ``_entry_sums`` — per *entry link* partial sums backing the potential
+  load.  Flows are grouped by the first link of their path (a client's
+  access uplink): the group's joint contribution to any later link is capped
+  by that entry link's capacity, because the group's aggregate rate already
+  had to fit through it.  Without this grouping a well-provisioned core link
+  crossed by thousands of flows would be flagged as potentially saturated
+  (every flow counted at its full individual bound) and every rate update
+  would degenerate into a global recomputation.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import TopologyError
+
+#: Entry-group sums at or below this many bits/s are snapped to zero (and
+#: dropped) so repeated attach/detach cycles cannot accumulate float drift.
+_LOAD_EPSILON = 1e-9
 
 
 class Link:
     """A single directed link with a capacity in bits/s and a one-way delay."""
 
-    __slots__ = ("name", "capacity_bps", "delay_s", "buffer_bytes", "_flow_count")
+    __slots__ = (
+        "name",
+        "capacity_bps",
+        "delay_s",
+        "buffer_bytes",
+        "_flow_count",
+        "_flows",
+        "_potential",
+        "_entry_sums",
+    )
 
     #: Default drop-tail buffer, sized like a small home-router queue.  Only
     #: the cross-traffic model (Figure 9) consults it.
@@ -42,6 +75,9 @@ class Link:
         self.delay_s = float(delay_s)
         self.buffer_bytes = float(buffer_bytes if buffer_bytes is not None else self.DEFAULT_BUFFER_BYTES)
         self._flow_count = 0
+        self._flows: Dict = {}
+        self._potential = 0.0
+        self._entry_sums: Dict[int, float] = {}
 
     @property
     def flow_count(self) -> int:
@@ -51,6 +87,36 @@ class Link:
     def max_queueing_delay(self) -> float:
         """Worst-case drop-tail queueing delay (full buffer drained at capacity)."""
         return (self.buffer_bytes * 8.0) / self.capacity_bps
+
+    # -- allocator bookkeeping (driven by FluidNetwork) -------------------------
+
+    def _reset_runtime(self) -> None:
+        """Forget all allocator state (a new network took over the topology)."""
+        self._flow_count = 0
+        self._flows = {}
+        self._potential = 0.0
+        self._entry_sums = {}
+
+    def _add_entry_load(self, entry: "Link", delta: float) -> None:
+        """Shift the load contributed via ``entry`` by ``delta`` bits/s.
+
+        The group's contribution to this link's potential load is capped at
+        ``entry``'s capacity — the flows all squeezed through ``entry`` first
+        — so the potential only moves by the change in ``min(cap, sum)``.
+        """
+        sums = self._entry_sums
+        key = id(entry)
+        old = sums.get(key, 0.0)
+        new = old + delta
+        cap = entry.capacity_bps
+        old_capped = cap if old > cap else old
+        if new <= _LOAD_EPSILON:
+            sums.pop(key, None)
+            new_capped = 0.0
+        else:
+            sums[key] = new
+            new_capped = cap if new > cap else new
+        self._potential += new_capped - old_capped
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

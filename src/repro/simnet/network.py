@@ -1,25 +1,49 @@
 """The fluid network: flow lifecycle, rate allocation, byte integration.
 
 :class:`FluidNetwork` owns the set of active flows.  Whenever that set (or a
-flow's private rate cap) changes, it re-shares bandwidth and reschedules the
-completion events of the flows whose rates changed.  Delivered bytes are
-integrated lazily, per flow, under piecewise-constant rates (which makes the
-integration exact).
+flow's private rate cap) changes, bandwidth must be re-shared and the
+completion events of the flows whose rates changed must be rescheduled.
+Delivered bytes are integrated lazily, per flow, under piecewise-constant
+rates (which makes the integration exact).
 
-Reallocation is *component-restricted*: most changes (a payment POST
+Rate recomputation is **deferred and batched** (the dirty-set scheme).  A
+flow attach/detach/cap change only does O(path) bookkeeping: it records the
+affected links in a dirty set (remembering which of them were already
+potentially saturated before the change) and arms the engine's flush hook.
+The actual recomputation runs at most once per batch of changes — immediately
+before the engine fires the next event, before an idle clock fast-forwards,
+or when a caller reads rates (:meth:`FluidNetwork.sync`,
+:meth:`aggregate_rate_bps`, ...).  Deferral is exact because the simulated
+clock cannot advance past the change instant before the flush runs: the old
+rates remain valid for the zero simulated seconds they are still in effect.
+Batching collapses the common same-instant chains (a flow start immediately
+followed by its slow-start cap, an auction teardown cascade) into a single
+recomputation and — more importantly — a single round of completion-event
+cancel/reschedule heap traffic.
+
+Recomputation is also *component-restricted*: most changes (a payment POST
 finishing on one client's uplink, say) can only affect the rates of flows
 that share a potentially-saturated link with the changed flow, directly or
-transitively.  The network therefore keeps, per link, the "potential load" —
-the sum of its flows' static rate bounds (each flow's narrowest path link
-combined with its private cap).  A link whose capacity covers its potential
-load can never saturate and never constrains anyone, so the search for
-affected flows only crosses links whose potential load exceeds capacity.
+transitively.  Each link maintains its "potential load" — an upper bound on
+the aggregate rate its flows could jointly push through it, with flows
+grouped by their entry link so a well-provisioned core link is not falsely
+flagged (see :mod:`repro.simnet.link`).  A link whose capacity covers its
+potential load can never saturate and never constrains anyone, so the search
+for affected flows only crosses links whose potential load exceeds capacity.
 Rates for the affected component are then recomputed with progressive
 filling (:func:`repro.simnet.bandwidth.waterfill`); everything outside the
 component keeps its previous, still-valid rate.  The brute-force global
 computation (:func:`repro.simnet.bandwidth.max_min_fair_rates`) remains
-available both as a reference for the property-based tests and as a
+available both as a reference for the property-based tests and as an
 ``incremental=False`` escape hatch.
+
+Steady-state traffic recomputes the *same* component shapes over and over
+(one more identical payment POST on an otherwise unchanged uplink), so the
+network keeps an LRU cache keyed by the component's structural signature —
+which constraint links it spans and, per flow, which of them it crosses and
+its rate ceiling.  Flows with identical structure provably receive identical
+max-min rates, so cached rate vectors can be re-applied positionally to a
+sorted view of the component without re-running the waterfill.
 
 Propagation delays are *not* folded into byte accounting — they are exposed
 via :meth:`FluidNetwork.rtt` and the higher layers (thinner, clients, HTTP
@@ -29,9 +53,11 @@ does (encouragement latency, quiescent periods, auction responses).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import FlowError
+from repro.perf.counters import SimCounters
 from repro.simnet.bandwidth import RATE_EPSILON, max_min_fair_rates, waterfill
 from repro.simnet.engine import Engine
 from repro.simnet.flow import Flow, FlowState
@@ -45,11 +71,26 @@ from repro.simnet.trace import Tracer
 BYTES_EPSILON = 1e-6
 
 #: Slack used when comparing a link's potential load against its capacity.
+#: A link is "constraining" only when its potential load *strictly* exceeds
+#: capacity by more than this: flows that can jointly fill a link exactly are
+#: each already limited to their static bounds by something else, so the link
+#: cannot force anyone below their bound.
 _CAPACITY_SLACK = 1e-6
+
+_INF = float("inf")
 
 
 class FluidNetwork:
     """Fluid-flow network simulator bound to an :class:`Engine` and a topology."""
+
+    #: Entries kept in the component-signature → rate-vector LRU cache.
+    RATE_CACHE_SIZE = 256
+
+    #: Components smaller than this skip the cache entirely: building and
+    #: hashing the structural signature costs more than just waterfilling a
+    #: handful of flows.  The cache pays off where waterfill's cost curve
+    #: bends — wide components recomputed repeatedly in steady state.
+    RATE_CACHE_MIN_FLOWS = 16
 
     def __init__(
         self,
@@ -66,13 +107,36 @@ class FluidNetwork:
         self.incremental = incremental
 
         self._active: Dict[Flow, None] = {}
-        self._link_flows: Dict[Link, Dict[Flow, None]] = {}
-        self._potential_load: Dict[Link, float] = {}
-        self._bounds: Dict[Flow, float] = {}
+        #: Hot-path instrumentation (see :mod:`repro.perf.counters`).
+        self.counters = SimCounters()
+
+        # Dirty-set state for the deferred, batched rate recomputation.
+        self._dirty = False
+        self._dirty_seeds: Dict[int, Link] = {}
+        self._dirty_pre: Set[int] = set()
+        self._dirty_flows: Dict[Flow, None] = {}
+        self._rate_cache: "OrderedDict[tuple, Tuple[float, ...]]" = OrderedDict()
 
         self.total_delivered_bytes = 0.0
         self.completed_flows = 0
         self.stopped_flows = 0
+
+        engine.add_flush_callback(self._flush_rates)
+        self._reset_link_state()
+
+    def _reset_link_state(self) -> None:
+        """Clear allocator bookkeeping on every link of the topology.
+
+        Links carry their runtime state in ``__slots__`` (see
+        :mod:`repro.simnet.link`); a topology handed to a fresh network may
+        have been driven by a previous one.
+        """
+        for host in self.topology.hosts:
+            host.access.up._reset_runtime()
+            host.access.down._reset_runtime()
+        for cable in self.topology.shared_links:
+            cable.up._reset_runtime()
+            cable.down._reset_runtime()
 
     # -- queries ---------------------------------------------------------------
 
@@ -115,7 +179,7 @@ class FluidNetwork:
     # -- flow lifecycle ------------------------------------------------------------
 
     def start_flow(self, flow: Flow) -> Flow:
-        """Activate ``flow`` and re-share bandwidth."""
+        """Activate ``flow``; its rate materialises at the next flush."""
         if flow.state == FlowState.ACTIVE:
             raise FlowError(f"flow {flow.flow_id} is already active")
         if flow.state in (FlowState.COMPLETED, FlowState.STOPPED):
@@ -124,7 +188,7 @@ class FluidNetwork:
         flow.started_at = self.engine.now
         flow._last_integration = self.engine.now
 
-        pre_constraining = self._constraining_snapshot(flow.path)
+        self._note_change(flow.path, flow)
         self._attach(flow)
         if self.tracer is not None:
             self.tracer.record(
@@ -136,7 +200,6 @@ class FluidNetwork:
                 dst=flow.dst.name,
                 size=flow.size_bytes,
             )
-        self._reallocate(flow, pre_constraining)
         return flow
 
     def send(
@@ -168,7 +231,7 @@ class FluidNetwork:
         if flow.state != FlowState.ACTIVE:
             return flow.delivered_bytes
         self._integrate(flow)
-        pre_constraining = self._constraining_snapshot(flow.path)
+        self._note_change(flow.path)
         self._detach(flow, FlowState.STOPPED)
         self.stopped_flows += 1
         if self.tracer is not None:
@@ -179,11 +242,10 @@ class FluidNetwork:
                 label=flow.label,
                 delivered=flow.delivered_bytes,
             )
-        self._reallocate(None, pre_constraining, extra_links=flow.path)
         return flow.delivered_bytes
 
     def set_rate_cap(self, flow: Flow, rate_cap_bps: Optional[float]) -> None:
-        """Change a flow's private rate ceiling (slow-start ramp) and re-share."""
+        """Change a flow's private rate ceiling (slow-start ramp) and mark it dirty."""
         if rate_cap_bps is not None and rate_cap_bps <= 0:
             raise FlowError(f"rate cap must be positive or None, got {rate_cap_bps}")
         if flow.rate_cap_bps == rate_cap_bps:
@@ -191,54 +253,100 @@ class FluidNetwork:
         flow.rate_cap_bps = rate_cap_bps
         if flow.state != FlowState.ACTIVE:
             return
-        pre_constraining = self._constraining_snapshot(flow.path)
-        old_bound = self._bounds[flow]
-        new_bound = self._static_bound(flow)
+        path = flow.path
+        self._note_change(path, flow)
+        old_bound = flow._bound
+        new_bound = flow._path_min_cap
+        if rate_cap_bps is not None and rate_cap_bps < new_bound:
+            new_bound = rate_cap_bps
         if new_bound != old_bound:
-            self._bounds[flow] = new_bound
-            for link in flow.path:
-                self._potential_load[link] += new_bound - old_bound
-        self._reallocate(flow, pre_constraining)
+            flow._bound = new_bound
+            delta = new_bound - old_bound
+            entry = path[0]
+            entry._potential += delta
+            for link in path[1:]:
+                link._add_entry_load(entry, delta)
 
     def sync(self) -> None:
-        """Bring every active flow's ``delivered_bytes`` up to the current time."""
+        """Flush pending rate updates, then bring every active flow's
+        ``delivered_bytes`` up to the current time."""
+        self._flush_rates()
         for flow in self._active:
             self._integrate(flow)
 
     def delivered_bytes(self, flow: Flow) -> float:
-        """Delivered bytes of ``flow`` as of now (integrating if still active)."""
+        """Delivered bytes of ``flow`` as of now (integrating if still active).
+
+        Exact even while a rate recomputation is pending: pending changes
+        were made at the *current* instant, so the pre-change rate still
+        covers the whole integration interval.
+        """
         if flow.state == FlowState.ACTIVE:
             self._integrate(flow)
         return flow.delivered_bytes
 
     # -- bookkeeping internals ------------------------------------------------------
 
-    def _static_bound(self, flow: Flow) -> float:
-        bound = min(link.capacity_bps for link in flow.path)
-        return min(bound, flow.effective_cap())
+    def _note_change(self, path: List[Link], flow: Optional[Flow] = None) -> None:
+        """Record a flow-set change: O(path), no recomputation.
+
+        Must run *before* the change mutates the load bookkeeping — the
+        flush seeds the affected component from links that were potentially
+        saturated either before any change in the batch or after all of
+        them.
+        """
+        self.counters.reallocations += 1
+        seeds = self._dirty_seeds
+        pre = self._dirty_pre
+        slack = _CAPACITY_SLACK
+        for link in path:
+            lid = id(link)
+            if lid not in seeds:
+                seeds[lid] = link
+            if link._potential > link.capacity_bps + slack:
+                pre.add(lid)
+        if flow is not None:
+            self._dirty_flows[flow] = None
+        if not self._dirty:
+            self._dirty = True
+            self.engine.request_flush()
 
     def _attach(self, flow: Flow) -> None:
         self._active[flow] = None
-        bound = self._static_bound(flow)
-        self._bounds[flow] = bound
-        for link in flow.path:
-            self._link_flows.setdefault(link, {})[flow] = None
-            self._potential_load[link] = self._potential_load.get(link, 0.0) + bound
+        path = flow.path
+        bound = flow._path_min_cap
+        cap = flow.rate_cap_bps
+        if cap is not None and cap < bound:
+            bound = cap
+        flow._bound = bound
+        entry = path[0]
+        entry._flows[flow] = None
+        entry._flow_count += 1
+        entry._potential += bound
+        for link in path[1:]:
+            link._flows[flow] = None
             link._flow_count += 1
+            link._add_entry_load(entry, bound)
 
     def _detach(self, flow: Flow, final_state: FlowState) -> None:
         self._active.pop(flow, None)
-        bound = self._bounds.pop(flow, 0.0)
-        for link in flow.path:
-            flows_on_link = self._link_flows.get(link)
-            if flows_on_link is not None:
-                flows_on_link.pop(flow, None)
-                if not flows_on_link:
-                    del self._link_flows[link]
-            self._potential_load[link] = self._potential_load.get(link, 0.0) - bound
-            if self._potential_load[link] <= _CAPACITY_SLACK:
-                self._potential_load.pop(link, None)
+        path = flow.path
+        bound = flow._bound
+        flow._bound = 0.0
+        entry = path[0]
+        entry._flows.pop(flow, None)
+        entry._flow_count -= 1
+        entry._potential -= bound
+        if not entry._flows:
+            entry._potential = 0.0
+            entry._entry_sums.clear()
+        for link in path[1:]:
+            link._flows.pop(flow, None)
             link._flow_count -= 1
+            link._add_entry_load(entry, -bound)
+            if not link._flows:
+                link._potential = 0.0
+                link._entry_sums.clear()
         flow.state = final_state
         flow.finished_at = self.engine.now
         flow.rate_bps = 0.0
@@ -260,77 +368,143 @@ class FluidNetwork:
         flow._last_integration = now
 
     def _is_constraining(self, link: Link) -> bool:
-        return self._potential_load.get(link, 0.0) > link.capacity_bps + _CAPACITY_SLACK
+        return link._potential > link.capacity_bps + _CAPACITY_SLACK
 
-    def _constraining_snapshot(self, links) -> Dict[Link, bool]:
-        return {link: self._is_constraining(link) for link in links}
+    # -- deferred rate recomputation ---------------------------------------------------
 
-    # -- reallocation --------------------------------------------------------------------
+    def _flush_rates(self) -> None:
+        """Recompute rates for everything touched since the last flush.
 
-    def _reallocate(
-        self,
-        changed_flow: Optional[Flow],
-        pre_constraining: Dict[Link, bool],
-        extra_links: Optional[List[Link]] = None,
-    ) -> None:
+        Registered as the engine's flush callback; also invoked directly by
+        the rate-reading queries.  No-op when nothing is dirty.
+        """
+        if not self._dirty:
+            return
+        self._dirty = False
+        counters = self.counters
+        counters.flushes += 1
+        seeds = self._dirty_seeds
+        pre = self._dirty_pre
+        dirty_flows = self._dirty_flows
+        self._dirty_seeds = {}
+        self._dirty_pre = set()
+        self._dirty_flows = {}
+
         if not self.incremental:
-            self._apply_rates(list(self._active), max_min_fair_rates(list(self._active)))
+            flows = list(self._active)
+            counters.waterfill_calls += 1
+            counters.flows_touched += len(flows)
+            self._apply_rates(flows, max_min_fair_rates(flows))
             return
 
-        # Seed the affected component with every path link that constrains
-        # traffic either before or after the change.
-        seed: List[Link] = []
-        seen = set()
-        candidate_links = list(pre_constraining) + list(extra_links or [])
-        for link in candidate_links:
-            if id(link) in seen:
-                continue
-            seen.add(id(link))
-            if pre_constraining.get(link, False) or self._is_constraining(link):
-                seed.append(link)
-
-        component = self._component(seed)
-        if changed_flow is not None and changed_flow.state == FlowState.ACTIVE:
-            if changed_flow not in component:
-                component[changed_flow] = None
+        slack = _CAPACITY_SLACK
+        seed_links = [
+            link
+            for lid, link in seeds.items()
+            if lid in pre or link._potential > link.capacity_bps + slack
+        ]
+        component = self._component(seed_links)
+        for flow in dirty_flows:
+            if flow.state is FlowState.ACTIVE and flow not in component:
+                component[flow] = None
         if not component:
             return
-
         flows = list(component)
+
+        # Which links can actually bind the component?
         constraint_links: List[Link] = []
-        constraint_seen = set()
+        constraint_seen: Set[int] = set()
         for flow in flows:
             for link in flow.path:
-                if id(link) not in constraint_seen and self._is_constraining(link):
-                    constraint_seen.add(id(link))
+                lid = id(link)
+                if lid not in constraint_seen and link._potential > link.capacity_bps + slack:
+                    constraint_seen.add(lid)
                     constraint_links.append(link)
 
+        use_cache = len(flows) >= self.RATE_CACHE_MIN_FLOWS
+
+        # Per-flow ceilings (own cap folded with never-saturating path links)
+        # and, when caching, the component's structural signature.
         effective_caps: Dict[Flow, float] = {}
+        structs: List[tuple] = []
         for flow in flows:
-            cap = flow.effective_cap()
-            for link in flow.path:
-                if id(link) not in constraint_seen:
-                    cap = min(cap, link.capacity_bps)
+            cap = flow.rate_cap_bps
+            if cap is None:
+                cap = _INF
+            path = flow.path
+            ids = flow._path_ids
+            if use_cache:
+                crossed: List[int] = []
+                for index in range(len(path)):
+                    lid = ids[index]
+                    if lid in constraint_seen:
+                        crossed.append(lid)
+                    else:
+                        capacity = path[index].capacity_bps
+                        if capacity < cap:
+                            cap = capacity
+                crossed.sort()
+                structs.append((tuple(crossed), cap))
+            else:
+                for index in range(len(path)):
+                    if ids[index] not in constraint_seen:
+                        capacity = path[index].capacity_bps
+                        if capacity < cap:
+                            cap = capacity
             effective_caps[flow] = cap
 
-        rates = waterfill(flows, constraint_links, effective_caps)
+        if not use_cache:
+            # Below the cache threshold: cache_hits/misses deliberately not
+            # touched, so those counters measure cache traffic alone.
+            counters.waterfill_calls += 1
+            counters.flows_touched += len(flows)
+            self._apply_rates(flows, waterfill(flows, constraint_links, effective_caps))
+            return
+
+        order = sorted(range(len(flows)), key=structs.__getitem__)
+        key = (
+            tuple(sorted((id(link), link.capacity_bps) for link in constraint_links)),
+            tuple(structs[index] for index in order),
+        )
+        cache = self._rate_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            counters.cache_hits += 1
+            rates = {}
+            for position, index in enumerate(order):
+                rates[flows[index]] = cached[position]
+        else:
+            counters.cache_misses += 1
+            counters.waterfill_calls += 1
+            counters.flows_touched += len(flows)
+            rates = waterfill(flows, constraint_links, effective_caps)
+            cache[key] = tuple(rates[flows[index]] for index in order)
+            if len(cache) > self.RATE_CACHE_SIZE:
+                cache.popitem(last=False)
         self._apply_rates(flows, rates)
 
     def _component(self, seed_links: List[Link]) -> Dict[Flow, None]:
         component: Dict[Flow, None] = {}
         visited = {id(link) for link in seed_links}
         frontier = list(seed_links)
+        slack = _CAPACITY_SLACK
         while frontier:
             next_frontier: List[Link] = []
             for link in frontier:
-                for flow in self._link_flows.get(link, {}):
+                for flow in link._flows:
                     if flow in component:
                         continue
                     component[flow] = None
-                    for other in flow.path:
-                        if id(other) not in visited and self._is_constraining(other):
-                            visited.add(id(other))
-                            next_frontier.append(other)
+                    path = flow.path
+                    ids = flow._path_ids
+                    for index in range(len(path)):
+                        oid = ids[index]
+                        if oid not in visited:
+                            other = path[index]
+                            if other._potential > other.capacity_bps + slack:
+                                visited.add(oid)
+                                next_frontier.append(other)
             frontier = next_frontier
         return component
 
@@ -374,7 +548,7 @@ class FluidNetwork:
             # that changed them already rescheduled us, so just bail out.
             return
         flow.delivered_bytes = float(flow.size_bytes)
-        pre_constraining = self._constraining_snapshot(flow.path)
+        self._note_change(flow.path)
         self._detach(flow, FlowState.COMPLETED)
         self.completed_flows += 1
         if self.tracer is not None:
@@ -385,7 +559,6 @@ class FluidNetwork:
                 label=flow.label,
                 delivered=flow.delivered_bytes,
             )
-        self._reallocate(None, pre_constraining, extra_links=flow.path)
         if flow.on_complete is not None:
             flow.on_complete(flow)
 
@@ -393,6 +566,7 @@ class FluidNetwork:
 
     def aggregate_rate_bps(self, predicate: Optional[Callable[[Flow], bool]] = None) -> float:
         """Sum of current rates over active flows matching ``predicate``."""
+        self._flush_rates()
         total = 0.0
         for flow in self._active:
             if predicate is None or predicate(flow):
@@ -401,11 +575,12 @@ class FluidNetwork:
 
     def flows_on(self, link: Link) -> List[Flow]:
         """Active flows whose path crosses ``link``."""
-        return list(self._link_flows.get(link, {}))
+        return list(link._flows)
 
     def link_load_bps(self, link: Link) -> float:
         """Aggregate rate currently crossing ``link``."""
-        return sum(flow.rate_bps for flow in self._link_flows.get(link, {}))
+        self._flush_rates()
+        return sum(flow.rate_bps for flow in link._flows)
 
     def link_utilisation(self, link: Link) -> float:
         """Fraction of ``link``'s capacity in use right now."""

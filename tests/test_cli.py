@@ -9,9 +9,9 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("demo", "figure2", "figure3", "costs", "figure6", "figure7",
                     "figure8", "figure9", "advantage", "windows", "capacity",
-                    "scenarios", "sweep"):
+                    "scenarios", "sweep", "bench"):
         args = parser.parse_args(
-            [command] if command in ("demo", "capacity", "scenarios", "sweep")
+            [command] if command in ("demo", "capacity", "scenarios", "sweep", "bench")
             else [command, "--duration", "5"])
         assert args.command == command
 
@@ -49,8 +49,73 @@ def test_scenarios_command_lists_registry(capsys):
     exit_code = main(["scenarios"])
     assert exit_code == 0
     output = capsys.readouterr().out
-    for name in ("lan-baseline", "flash-crowd", "pulsed-attack", "diurnal-demand"):
+    for name in ("lan-baseline", "flash-crowd", "pulsed-attack", "diurnal-demand",
+                 "stress-mega"):
         assert name in output
+
+
+def test_scenarios_doc_emits_the_gallery(capsys):
+    exit_code = main(["scenarios", "--doc"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert output.startswith("# Scenario gallery")
+    assert "## `stress-mega`" in output
+    assert "| knob | default |" in output
+
+
+def _tiny_bench_cases():
+    from repro.perf.bench import BenchCase
+
+    return (
+        BenchCase(
+            name="tiny",
+            scenario="lan-baseline",
+            args=dict(good_clients=2, bad_clients=2, capacity_rps=10.0, duration=1.0),
+        ),
+    )
+
+
+def test_bench_command_appends_entries_and_checks(tmp_path, capsys, monkeypatch):
+    import repro.perf.bench as perf_bench
+
+    monkeypatch.setattr(perf_bench, "BENCH_CASES", _tiny_bench_cases())
+    out = tmp_path / "BENCH_test.json"
+    fresh = tmp_path / "fresh.json"
+
+    exit_code = main(["bench", "--quick", "--label", "cli-test",
+                      "--out", str(out), "--fresh-out", str(fresh)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "tiny" in output and "events/s" in output
+    assert out.exists() and fresh.exists()
+
+    from repro.perf.bench import load_document
+
+    document = load_document(str(out))
+    assert document["entries"][0]["label"] == "cli-test"
+    assert "tiny" in document["entries"][0]["cases"]
+    fresh_doc = load_document(str(fresh))
+    assert len(fresh_doc["entries"]) == 1
+
+    # --check against the entry just written: same machine, same code, so it
+    # must pass and must not append a second entry.  The wide tolerance keeps
+    # the wall-clock half of the check immune to CI load spikes between the
+    # two tiny runs; the deterministic work-per-event half is exact anyway.
+    exit_code = main(["bench", "--quick", "--check", "--tolerance", "0.9",
+                      "--out", str(out)])
+    assert exit_code == 0
+    assert len(load_document(str(out))["entries"]) == 1
+    assert "no regression" in capsys.readouterr().out
+
+
+def test_bench_check_without_baseline_errors(tmp_path, capsys, monkeypatch):
+    import repro.perf.bench as perf_bench
+
+    monkeypatch.setattr(perf_bench, "BENCH_CASES", _tiny_bench_cases())
+    exit_code = main(["bench", "--quick", "--check",
+                      "--out", str(tmp_path / "missing.json")])
+    assert exit_code == 2
+    assert "no committed" in capsys.readouterr().err
 
 
 def test_sweep_command_runs_grid_and_writes_results(tmp_path, capsys):

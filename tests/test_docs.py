@@ -1,0 +1,47 @@
+"""The generated documentation stays in sync with the code.
+
+``docs/SCENARIOS.md`` is rendered from the scenario registry by
+``speakup-repro scenarios --doc``; if a scenario is added or a knob changes,
+the checked-in file must be regenerated.  These tests fail with the exact
+regeneration command when it is stale.
+"""
+
+import os
+
+from repro.scenarios.registry import scenario_markdown, scenario_names
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCENARIOS_MD = os.path.join(REPO_ROOT, "docs", "SCENARIOS.md")
+ARCHITECTURE_MD = os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md")
+
+
+def test_scenario_gallery_is_up_to_date():
+    with open(SCENARIOS_MD, "r", encoding="utf-8") as handle:
+        committed = handle.read()
+    generated = scenario_markdown()
+    assert committed == generated, (
+        "docs/SCENARIOS.md is out of date with the scenario registry; "
+        "regenerate it with:\n"
+        "  PYTHONPATH=src python -m repro.cli scenarios --doc > docs/SCENARIOS.md"
+    )
+
+
+def test_scenario_gallery_mentions_every_scenario():
+    gallery = scenario_markdown()
+    for name in scenario_names():
+        assert f"## `{name}`" in gallery
+
+
+def test_architecture_doc_mentions_every_subpackage():
+    with open(ARCHITECTURE_MD, "r", encoding="utf-8") as handle:
+        architecture = handle.read()
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    subpackages = sorted(
+        entry
+        for entry in os.listdir(src)
+        if os.path.isdir(os.path.join(src, entry)) and not entry.startswith("__")
+    )
+    for subpackage in subpackages:
+        assert f"{subpackage}/" in architecture or f"`{subpackage}" in architecture, (
+            f"docs/ARCHITECTURE.md does not mention subpackage {subpackage!r}"
+        )

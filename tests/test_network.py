@@ -1,5 +1,7 @@
 """Tests for the fluid network: flow lifecycle, integration, incremental rates."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -162,7 +164,10 @@ def test_total_delivered_bytes_accumulates():
 )
 def test_incremental_rates_match_global_recomputation(operations):
     """Property: after any sequence of flow starts/stops, the incremental
-    component-based allocation equals the brute-force global max-min rates."""
+    component-based allocation equals the brute-force global max-min rates.
+
+    ``sync()`` settles the deferred dirty-set recomputation before the rates
+    are compared (exactly what the engine does before firing each event)."""
     topology, hosts, thinner = build_lan(uniform_bandwidths(4, 2 * MBIT))
     engine = Engine()
     network = FluidNetwork(engine, topology, incremental=True)
@@ -177,7 +182,70 @@ def test_incremental_rates_match_global_recomputation(operations):
             clock += 0.05
             engine.run(until=clock)
 
+    network.sync()
     active = network.active_flows
     expected = max_min_fair_rates(active)
     for flow in active:
         assert flow.rate_bps == pytest.approx(expected[flow], rel=1e-6, abs=1e-3)
+
+
+def _assert_matches_global(network):
+    network.sync()
+    active = network.active_flows
+    expected = max_min_fair_rates(active)
+    for flow in active:
+        assert flow.rate_bps == pytest.approx(expected[flow], rel=1e-6, abs=1e-3)
+
+
+@pytest.mark.parametrize("seed", [7, 19, 42])
+def test_incremental_matches_global_on_200_flow_topologies(seed):
+    """Property at scale: the dirty-component waterfill path (batched
+    recomputation, entry-grouped potential load, signature cache) agrees
+    with the global reference on randomized ~200-flow topologies, through
+    cap changes, detaches, and time advances.
+
+    The shared cable is deliberately oversubscribed so components span many
+    hosts and exceed the rate cache's minimum size — this exercises the
+    cached path, not just tiny per-uplink waterfills.
+    """
+    rng = random.Random(seed)
+    tier_mbit = (0.5, 1.0, 2.0, 5.0)
+    topology, behind, direct, thinner, _cable = build_bottleneck(
+        bottlenecked_bandwidths_bps=[rng.choice(tier_mbit) * MBIT for _ in range(30)],
+        direct_bandwidths_bps=[rng.choice(tier_mbit) * MBIT for _ in range(30)],
+        bottleneck_bandwidth_bps=20 * MBIT,
+    )
+    hosts = list(behind) + list(direct)
+    engine = Engine()
+    network = FluidNetwork(engine, topology)
+
+    caps = (None, 0.25 * MBIT, 0.75 * MBIT, 3 * MBIT)
+    flows = [
+        network.send(rng.choice(hosts), thinner, rate_cap_bps=rng.choice(caps))
+        for _ in range(200)
+    ]
+    assert network.active_flow_count() == 200
+
+    clock = 0.0
+    for step in range(150):
+        op = rng.random()
+        if op < 0.25 and flows:
+            network.stop_flow(flows.pop(rng.randrange(len(flows))))
+        elif op < 0.55 and flows:
+            network.set_rate_cap(rng.choice(flows), rng.choice(caps))
+        elif op < 0.75:
+            flows.append(
+                network.send(rng.choice(hosts), thinner, rate_cap_bps=rng.choice(caps))
+            )
+        else:
+            clock += 0.01
+            engine.run(until=clock)
+        if step % 25 == 24:
+            _assert_matches_global(network)
+
+    _assert_matches_global(network)
+    # The oversubscribed cable must have produced components wide enough to
+    # engage the signature cache at least once.
+    counters = network.counters
+    assert counters.cache_hits + counters.cache_misses > 0
+    assert counters.flows_touched > 0

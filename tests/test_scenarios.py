@@ -31,6 +31,8 @@ SMALL_SCENARIO_KWARGS = {
     ),
     "diurnal-demand": dict(good_clients=2, bad_clients=2, capacity_rps=10.0, duration=9.0),
     "uplink-tiers": dict(clients_per_tier=2, capacity_rps=10.0, duration=6.0),
+    "stress-mega": dict(good_clients=4, bad_clients=2, bad_window=2,
+                        capacity_rps=10.0, duration=6.0),
 }
 
 
