@@ -283,7 +283,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     )
     print(format_table(
         headers=["case", "clients", "sim_s", "wall_s", "events", "events/s",
-                 "waterfills", "flows/call", "cache_hits"],
+                 "waterfills", "flows/call", "cache_hits", "scan/auction"],
         rows=perf.format_measurements(measurements),
         title=f"Pinned perf suite ({'quick' if args.quick else 'full'} mode)",
     ))

@@ -5,6 +5,25 @@ of them outstanding, parks the rest in a backlog queue with a ten-second
 service-denial timeout, sends each outstanding request to the thinner as a
 small flow, opens a payment channel when encouraged, and records per-request
 metrics when responses (or drops) come back.
+
+Arrival generation is *batched*: instead of scheduling one engine event per
+candidate arrival (and, for modulated demand, burning an event on every
+thinned-away candidate), each client pregenerates a chunk of accepted
+arrival times per refill — ``arrival_batch`` inter-arrival draws per RNG
+call — and keeps a single pending engine event for the next accepted
+arrival.  Thinning for non-homogeneous demand happens inside the refill
+loop, so a mostly-idle client (a flash crowd before its flash, a pulsed
+attacker between pulses) costs one *refill* event per
+:data:`MAX_CANDIDATES_PER_REFILL` rejected candidates instead of one engine
+event per candidate: engine event count no longer scales with idle clients.
+
+Determinism contract: the refill loop consumes the client's random stream in
+exactly the order the historical one-event-per-candidate scheduler did
+(``gap, [accept], gap, [accept], ...``), and candidate times chain through
+the same float expression (``t_next = t_prev + gap``), so runs are
+bit-identical under a fixed seed.  The one exception is a *callable*
+``difficulty`` spec: its draws must interleave with the arrival draws at
+arrival time, so those clients keep the legacy per-event path.
 """
 
 from __future__ import annotations
@@ -25,8 +44,22 @@ DifficultySpec = Union[float, Callable[["BaseClient"], float]]
 
 #: A rate modulator maps simulated time to a demand multiplier in [0, 1];
 #: ``rate_rps`` is then the client's *peak* rate and arrivals follow a
-#: non-homogeneous Poisson process realised by thinning.
+#: non-homogeneous Poisson process realised by thinning.  Modulators must be
+#: *pure functions of the time argument* (every ArrivalSpec shape is): the
+#: batched refill evaluates them at pre-computed future candidate times, so
+#: one that read mutable simulation state or drew randomness would observe
+#: it earlier than the legacy per-event scheduler did.
 RateModulator = Callable[[float], float]
+
+#: Accepted arrivals pregenerated per refill of a client's arrival queue.
+DEFAULT_ARRIVAL_BATCH = 64
+
+#: Bound on candidate draws per refill call.  A modulated client whose
+#: multiplier sits at zero for a long stretch would otherwise pregenerate
+#: (and buffer) arbitrarily far past the run horizon in one call; after this
+#: many candidates the refill yields and resumes from an engine event at the
+#: last candidate's time, preserving the engine's lazy time horizon.
+MAX_CANDIDATES_PER_REFILL = 512
 
 
 @dataclass
@@ -72,6 +105,7 @@ class BaseClient:
         backlog_timeout: float = REQUEST_TIMEOUT,
         difficulty: DifficultySpec = 1.0,
         rate_modulator: Optional[RateModulator] = None,
+        arrival_batch: int = DEFAULT_ARRIVAL_BATCH,
         auto_register: bool = True,
     ) -> None:
         if rate_rps <= 0:
@@ -80,6 +114,8 @@ class BaseClient:
             raise ClientError(f"window must be at least 1, got {window}")
         if backlog_timeout <= 0:
             raise ClientError("backlog_timeout must be positive")
+        if arrival_batch < 1:
+            raise ClientError(f"arrival_batch must be at least 1, got {arrival_batch}")
         self.deployment = deployment
         self.engine = deployment.engine
         self.network = deployment.network
@@ -104,6 +140,17 @@ class BaseClient:
         self._started = False
         self._sweep_event = None
 
+        #: Pregenerated accepted arrival times, oldest first.
+        self.arrival_batch = int(arrival_batch)
+        self._pending_arrivals: Deque[float] = deque()
+        #: Simulated time of the last *candidate* drawn (accepted or thinned);
+        #: the next refill chains its first gap from here.
+        self._gen_time = 0.0
+        #: Callable difficulty draws must interleave with arrival draws, so
+        #: those clients keep the legacy one-event-per-candidate scheduler
+        #: (see the module docstring's determinism contract).
+        self._batched_arrivals = not callable(difficulty)
+
         if auto_register:
             deployment.register_client(self)
 
@@ -126,20 +173,79 @@ class BaseClient:
         if self._started:
             return
         self._started = True
+        self._gen_time = self.engine.now
         self._schedule_next_arrival()
 
+    # -- batched arrival pregeneration ---------------------------------------------
+
+    def _refill_arrivals(self) -> None:
+        """Pregenerate accepted arrival times, up to ``arrival_batch`` of them.
+
+        Draw order and float arithmetic replicate the legacy per-event
+        scheduler exactly: each candidate time is ``previous + gap`` with
+        ``gap`` exponential at the peak rate, immediately followed (for
+        modulated demand) by the thinning accept draw at that candidate time.
+        Pregeneration also stops once it crosses the engine's advisory run
+        horizon — draws the legacy scheduler would only have made in a later
+        ``run()`` are deferred to a later refill, so a short run never pays
+        for (or buffers) a long batch of post-horizon arrivals.  Stopping
+        early at *any* prefix is exact: the stream is consumed in the same
+        order either way.
+        """
+        rng = self.rng
+        rate = self.rate_rps
+        modulator = self.rate_modulator
+        pending = self._pending_arrivals
+        horizon = self.engine.run_horizon
+        t = self._gen_time
+        if modulator is None:
+            batch = self.arrival_batch
+            # Draw in small chunks so at most a chunk's worth of gaps is
+            # pregenerated beyond the horizon (chained gaps already drawn
+            # stay valid arrival times for a later run).
+            chunk = batch if horizon is None else min(batch, 8)
+            while True:
+                for gap in rng.exponentials(rate, chunk):
+                    t = t + gap
+                    pending.append(t)
+                if len(pending) >= batch or (horizon is not None and t > horizon):
+                    break
+        else:
+            exponential = rng.exponential
+            bernoulli = rng.bernoulli
+            accepted = 0
+            for _ in range(MAX_CANDIDATES_PER_REFILL):
+                t = t + exponential(rate)
+                # Thinning (Lewis & Shedler): draw candidates at the peak
+                # rate and accept each with probability equal to the
+                # multiplier at the candidate's (pre-computed) arrival time.
+                multiplier = min(1.0, max(0.0, modulator(t)))
+                if bernoulli(multiplier):
+                    pending.append(t)
+                    accepted += 1
+                    if accepted >= self.arrival_batch:
+                        break
+                if horizon is not None and t > horizon:
+                    break
+        self._gen_time = t
+
     def _schedule_next_arrival(self) -> None:
-        gap = self.rng.exponential(self.rate_rps)
-        self.engine.schedule_after(gap, self._arrival)
+        if not self._batched_arrivals:
+            gap = self.rng.exponential(self.rate_rps)
+            self.engine.schedule_after(gap, self._legacy_arrival)
+            return
+        pending = self._pending_arrivals
+        if not pending:
+            self._refill_arrivals()
+        if pending:
+            self.engine.schedule_at(pending.popleft(), self._arrival)
+        else:
+            # Every candidate in the refill was thinned away (deep idle):
+            # resume generation when the clock reaches the last candidate,
+            # one event per MAX_CANDIDATES_PER_REFILL candidates.
+            self.engine.schedule_at(self._gen_time, self._schedule_next_arrival)
 
     def _arrival(self) -> None:
-        if self.rate_modulator is not None:
-            # Thinning (Lewis & Shedler): draw candidates at the peak rate and
-            # accept each with probability equal to the current multiplier.
-            multiplier = min(1.0, max(0.0, self.rate_modulator(self.engine.now)))
-            if not self.rng.bernoulli(multiplier):
-                self._schedule_next_arrival()
-                return
         request = new_request(
             client_id=self.name,
             issued_at=self.engine.now,
@@ -157,6 +263,15 @@ class BaseClient:
             self.stats.backlogged += 1
             self._ensure_sweep()
         self._schedule_next_arrival()
+
+    def _legacy_arrival(self) -> None:
+        """One-event-per-candidate arrival (callable-difficulty clients only)."""
+        if self.rate_modulator is not None:
+            multiplier = min(1.0, max(0.0, self.rate_modulator(self.engine.now)))
+            if not self.rng.bernoulli(multiplier):
+                self._schedule_next_arrival()
+                return
+        self._arrival()
 
     def _draw_difficulty(self) -> float:
         if callable(self.difficulty):

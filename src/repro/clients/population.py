@@ -35,6 +35,9 @@ class PopulationSpec:
     category: Optional[str] = None
     difficulty: DifficultySpec = 1.0
     rate_modulator: Optional[RateModulator] = None
+    #: Cohort-level override for the clients' arrival pregeneration chunk
+    #: (``None`` keeps :data:`repro.clients.base.DEFAULT_ARRIVAL_BATCH`).
+    arrival_batch: Optional[int] = None
 
     def resolved_rate(self) -> float:
         if self.rate_rps is not None:
@@ -81,10 +84,12 @@ def build_population(
             category=spec.category,
             difficulty=spec.difficulty,
         )
-        # Only pass the modulator when set so custom factories that predate
-        # the keyword keep working.
+        # Only pass the modulator / batch override when set so custom
+        # factories that predate the keywords keep working.
         if spec.rate_modulator is not None:
             kwargs["rate_modulator"] = spec.rate_modulator
+        if spec.arrival_batch is not None:
+            kwargs["arrival_batch"] = spec.arrival_batch
         for _ in range(spec.count):
             host = next(host_iter)
             clients.append(factory(deployment, host, **kwargs))

@@ -65,7 +65,7 @@ class NoDefenseThinner(ThinnerBase):
     def _pick(self) -> Optional[Contender]:
         if not self._contenders:
             return None
-        contenders = list(self._contenders.values())
         if self.policy == "fifo":
-            return min(contenders, key=lambda contender: contender.arrived_at)
-        return self.rng.choice(contenders)
+            # Insertion order is arrival order, so the FIFO head is O(1).
+            return self._oldest_contender()
+        return self.rng.choice(list(self._contenders.values()))

@@ -34,20 +34,14 @@ class VirtualAuctionThinner(ThinnerBase):
         if winner is None:
             self._server_idle = True
             return
-        self.stats.auctions_held += 1
+        self._count_auction()
         price = winner.bid(sync=True)
         self._admit(winner, price_bytes=price)
 
     def _pick_winner(self) -> Optional[Contender]:
-        """The contender that has paid the most (ties broken by arrival order)."""
-        if not self._contenders:
-            return None
-        now = self.engine.now
-        best: Optional[Contender] = None
-        best_key = (-1.0, 0.0)
-        for contender in self._contenders.values():
-            key = (contender.peek_bid(now), -contender.arrived_at)
-            if best is None or key > best_key:
-                best = contender
-                best_key = key
-        return best
+        """The contender that has paid the most (ties broken by arrival order).
+
+        Delegates to the kinetic bid index (O(slope groups), not O(n)); the
+        selection contract is :meth:`ThinnerBase._best_contender`.
+        """
+        return self._best_contender()

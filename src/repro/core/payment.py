@@ -79,6 +79,13 @@ class PaymentChannel:
         self.posts_completed = 0
         self.opened_at: Optional[float] = None
         self.closed_at: Optional[float] = None
+        #: Fired whenever the channel's bid *trajectory* changes — the
+        #: in-flight POST is re-rated by the fluid allocator, a POST
+        #: completes (slope drops to zero for the quiescent gap), a quantum
+        #: win consumes the balance, or the channel closes.  The thinner
+        #: wires this to its kinetic bid index (push-refresh), so auctions
+        #: never have to pull every contender's bid.
+        self.on_bid_change: Optional[Callable[["PaymentChannel"], None]] = None
 
         self._committed_bytes = 0.0
         self._consumed_bytes = 0.0
@@ -109,6 +116,7 @@ class PaymentChannel:
             self._flow = None
         self.state = PaymentChannelState.CLOSED
         self.closed_at = self.engine.now
+        self._notify_bid_change()
         return self.total_paid()
 
     @property
@@ -154,6 +162,7 @@ class PaymentChannel:
         """Zero the current bid (quantum auction, §5) and return what it was."""
         amount = self.balance()
         self._consumed_bytes += amount
+        self._notify_bid_change()
         return amount
 
     def payment_rate_bps(self) -> float:
@@ -163,6 +172,16 @@ class PaymentChannel:
         return self._flow.rate_bps
 
     # -- POST machinery ---------------------------------------------------------------
+
+    def _notify_bid_change(self) -> None:
+        if self.on_bid_change is not None:
+            self.on_bid_change(self)
+
+    def _rate_changed(self, flow: Flow) -> None:
+        # Fired by the fluid network's flush when it re-rates the in-flight
+        # POST: the bid keeps its value but changes slope.
+        if flow is self._flow:
+            self._notify_bid_change()
 
     def _start_post(self) -> None:
         if self.state != PaymentChannelState.PAYING:
@@ -176,9 +195,13 @@ class PaymentChannel:
             on_complete=self._post_done,
         )
         flow.owner = self
+        flow.on_rate_change = self._rate_changed
         self._flow = flow
         if self.slow_start is not None:
             self.slow_start.attach(flow, self._rtt)
+        # No bid-change notification here: the new POST starts at rate zero
+        # until the deferred flush assigns it a share, so the trajectory
+        # (value and zero slope) is unchanged until ``_rate_changed`` fires.
 
     def _post_done(self, flow: Flow) -> None:
         if flow is not self._flow:  # pragma: no cover - defensive
@@ -186,6 +209,7 @@ class PaymentChannel:
         self._committed_bytes += flow.delivered_bytes
         self._flow = None
         self.posts_completed += 1
+        self._notify_bid_change()
         if self.on_post_complete is not None:
             self.on_post_complete(self, self.posts_completed)
         if self.state != PaymentChannelState.PAYING:

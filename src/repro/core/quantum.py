@@ -71,7 +71,7 @@ class QuantumAuctionThinner(ThinnerBase):
 
         if active is None:
             if challenger is not None:
-                self.stats.auctions_held += 1
+                self._count_auction()
                 self._grant(challenger, price_bytes=challenger.peek_bid(now))
             return
 
@@ -79,7 +79,7 @@ class QuantumAuctionThinner(ThinnerBase):
             self._charge_active(active)
             return
 
-        self.stats.auctions_held += 1
+        self._count_auction()
         if challenger.peek_bid(now) > active.peek_bid(now):
             self._preempt(active)
             self._grant(challenger, price_bytes=challenger.peek_bid(now))
@@ -93,28 +93,19 @@ class QuantumAuctionThinner(ThinnerBase):
         if challenger is None:
             self._server_idle = True
             return
-        self.stats.auctions_held += 1
+        self._count_auction()
         self._grant(challenger, price_bytes=challenger.peek_bid(self.engine.now))
 
     # -- grant / pre-empt / charge ----------------------------------------------------------
 
     def _top_contender(self) -> Optional[Contender]:
-        if not self._contenders:
-            return None
-        now = self.engine.now
-        best: Optional[Contender] = None
-        best_key = (-1.0, 0.0)
-        for contender in self._contenders.values():
-            key = (contender.peek_bid(now), -contender.arrived_at)
-            if best is None or key > best_key:
-                best = contender
-                best_key = key
-        return best
+        """The challenger that has paid the most (via the kinetic bid index)."""
+        return self._best_contender()
 
     def _grant(self, contender: Contender, price_bytes: float) -> None:
         """Give the next quantum to ``contender`` and consume its payment."""
         request = contender.request
-        self._contenders.pop(request.request_id, None)
+        self._remove_contender(request.request_id)
         self._suspended_at.pop(request.request_id, None)
 
         consumed = contender.channel.consume() if contender.channel is not None else 0.0
@@ -139,7 +130,7 @@ class QuantumAuctionThinner(ThinnerBase):
         if request is not contender.request:  # pragma: no cover - defensive
             raise ThinnerError("suspended request does not match the active contender")
         self._active = None
-        self._contenders[request.request_id] = contender
+        self._reinsert_contender(contender)
         self._suspended_at[request.request_id] = self.engine.now
 
     def _charge_active(self, contender: Contender) -> None:

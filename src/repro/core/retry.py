@@ -49,7 +49,7 @@ class RandomDropThinner(ThinnerBase):
         if winner is None:
             self._server_idle = True
             return
-        self.stats.auctions_held += 1
+        self._count_auction()
         now = self.engine.now
         price = max(0.0, winner.peek_bid(now) - winner.lottery_baseline)
         # Reset every contender's baseline: the lottery for the next admission
@@ -64,6 +64,7 @@ class RandomDropThinner(ThinnerBase):
             return None
         now = self.engine.now
         contenders = list(self._contenders.values())
+        self.counters.contenders_scanned += len(contenders)
         weights = [
             max(0.0, contender.peek_bid(now) - contender.lottery_baseline)
             for contender in contenders

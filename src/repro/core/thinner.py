@@ -32,6 +32,7 @@ from typing import Dict, Optional, Protocol
 
 from repro.constants import PAYMENT_CHANNEL_TIMEOUT
 from repro.errors import ThinnerError
+from repro.core.bidindex import KineticBidIndex
 from repro.core.payment import PaymentChannel
 from repro.core.pricing import PriceBook
 from repro.httpd.messages import Request, RequestState, Response
@@ -65,6 +66,9 @@ class Contender:
     channel: Optional[PaymentChannel] = None
     encouraged: bool = False
     arrived_at: float = 0.0
+    #: Thinner-local insertion sequence; the last tie-break of the selection
+    #: contract (see :meth:`ThinnerBase._best_contender`).
+    seq: int = 0
     lottery_baseline: float = 0.0  # used by the retry variant
 
     def bid(self, sync: bool = False) -> float:
@@ -143,8 +147,15 @@ class ThinnerBase:
 
         self.prices = PriceBook()
         self.stats = ThinnerStats()
+        #: Shared hot-path instrumentation (same object the bench snapshots).
+        self.counters = network.counters
         self._contenders: Dict[int, Contender] = {}
         self._owners: Dict[int, ClientProtocol] = {}
+        #: Kinetic index over the contenders' bid trajectories; kept in sync
+        #: by the ``_add_contender``/``_remove_contender`` pair and refreshed
+        #: by payment-channel ``on_bid_change`` notifications.
+        self._bid_index = KineticBidIndex(self.counters)
+        self._next_seq = 0
         self._server_idle = True
 
         server.on_request_done = self._request_done
@@ -169,6 +180,11 @@ class ThinnerBase:
             channel.close()
             return
         contender.channel = channel
+        # From here on the fluid allocator pushes every trajectory change
+        # (rate re-shares, POST completions, quantum consumption) into the
+        # bid index instead of auctions pulling n bids.
+        channel.on_bid_change = self._channel_bid_changed
+        self._bid_index.refresh(contender)
 
     @property
     def contending_count(self) -> int:
@@ -191,24 +207,80 @@ class ThinnerBase:
 
     def _add_contender(self, request: Request, client: ClientProtocol) -> Contender:
         contender = Contender(
-            request=request, client=client, arrived_at=self.engine.now
+            request=request, client=client, arrived_at=self.engine.now,
+            seq=self._next_seq,
         )
+        self._next_seq += 1
         self._contenders[request.request_id] = contender
+        self._bid_index.add(contender, self.engine.now)
         if self.max_contenders is not None and len(self._contenders) > self.max_contenders:
             self._evict_one(exempt=request.request_id)
         return contender
 
+    def _remove_contender(self, request_id: int) -> Optional[Contender]:
+        """Take a contender out of both the contender map and the bid index."""
+        contender = self._contenders.pop(request_id, None)
+        if contender is not None:
+            self._bid_index.remove(request_id)
+        return contender
+
+    def _reinsert_contender(self, contender: Contender) -> None:
+        """Put a previously-removed contender back (quantum suspension).
+
+        Note: re-insertion lands at the *end* of the contender map, so a
+        variant that reinserts must not also rely on
+        :meth:`_oldest_contender`'s insertion-order == arrival-order
+        invariant (the quantum thinner never does).
+        """
+        self._contenders[contender.request.request_id] = contender
+        self._bid_index.add(contender, self.engine.now)
+
+    def _count_auction(self) -> None:
+        """Record one winner-selection decision in both counter surfaces."""
+        self.stats.auctions_held += 1
+        self.counters.auctions_held += 1
+
+    def _channel_bid_changed(self, channel: PaymentChannel) -> None:
+        """A payment channel's bid trajectory changed: push a fresh index key."""
+        contender = self._contenders.get(channel.request_id)
+        if contender is not None and contender.channel is channel:
+            self._bid_index.refresh(contender)
+
+    # -- the selection contract ---------------------------------------------------------
+    #
+    # Every winner/eviction decision in the thinner family reduces to one of
+    # these three queries.  The shared contract (unit-tested in
+    # tests/test_bidindex.py):
+    #
+    # * ``_best_contender``  maximises ``(peek_bid(now), -arrived_at)`` — the
+    #   highest bidder wins, earlier arrival wins ties, and among fully equal
+    #   keys the earlier-inserted contender wins (matching the first-wins
+    #   behaviour of the historical linear scans, whose ``best_key = (-1.0,
+    #   0.0)`` sentinel is gone with them);
+    # * ``_worst_contender`` minimises ``(bid, -arrived_at)`` — the eviction
+    #   victim is the lowest payer, with the *latest* arrival evicted on ties;
+    # * ``_oldest_contender`` is the FIFO head (arrival order == insertion
+    #   order, so this is O(1) on the contender map).
+
+    def _best_contender(self) -> Optional[Contender]:
+        """The contender that has paid the most (ties broken by arrival order)."""
+        return self._bid_index.best(self.engine.now)
+
+    def _worst_contender(self, exempt: Optional[int] = None) -> Optional[Contender]:
+        """The lowest-bidding contender, skipping request ``exempt``."""
+        return self._bid_index.worst(self.engine.now, exempt)
+
+    def _oldest_contender(self) -> Optional[Contender]:
+        """The earliest-arrived contender still contending."""
+        if not self._contenders:
+            return None
+        return next(iter(self._contenders.values()))
+
     def _evict_one(self, exempt: Optional[int] = None) -> None:
         """Drop the lowest-paying contender (connection-descriptor pressure, §6)."""
-        self.network.sync()
-        candidates = [
-            contender
-            for contender in self._contenders.values()
-            if contender.request.request_id != exempt
-        ]
-        if not candidates:
+        victim = self._worst_contender(exempt)
+        if victim is None:
             return
-        victim = min(candidates, key=lambda cont: (cont.bid(), -cont.arrived_at))
         self._drop(victim.request, "evicted")
 
     def _encourage(self, contender: Contender) -> None:
@@ -239,14 +311,14 @@ class ThinnerBase:
         self.prices.record(self.engine.now, price_bytes, request.client_class, request.request_id)
         if price_bytes == 0.0:
             self.stats.free_admissions += 1
-        self._contenders.pop(request.request_id, None)
+        self._remove_contender(request.request_id)
         self.stats.requests_admitted += 1
         self._server_idle = False
         self.server.submit(request)
 
     def _drop(self, request: Request, reason: str) -> None:
         """Abandon a contending request and notify its client."""
-        contender = self._contenders.pop(request.request_id, None)
+        contender = self._remove_contender(request.request_id)
         if contender is not None and contender.channel is not None:
             paid = contender.channel.close()
             request.bytes_paid = paid

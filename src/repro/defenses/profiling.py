@@ -89,8 +89,7 @@ class ProfilingThinner(ThinnerBase):
         if not self._contenders:
             self._server_idle = True
             return
-        oldest = min(self._contenders.values(), key=lambda contender: contender.arrived_at)
-        self._admit(oldest, price_bytes=0.0)
+        self._admit(self._oldest_contender(), price_bytes=0.0)
 
 
 class ProfilingDefense(Defense):

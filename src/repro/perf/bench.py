@@ -1,10 +1,11 @@
 """The pinned performance benchmark behind ``speakup-repro bench``.
 
-The harness runs a fixed set of registry scenarios at three scales —
+The harness runs a fixed set of registry scenarios at four scales —
 ``lan-small`` (the paper's own scale), ``tiers-medium`` (hundreds of
-heterogeneous clients), and ``stress-mega`` (thousands of clients, the
-``stress-mega`` registry scenario) — and measures engine throughput
-(events/second) plus the network's hot-path counters
+heterogeneous clients), ``stress-mega`` (thousands of clients, bound on the
+fluid allocator), and ``thinner-mega`` (≥50k clients, bound on the
+admission/auction path) — and measures engine throughput (events/second)
+plus the network's hot-path counters
 (:class:`repro.perf.counters.SimCounters`).
 
 Results accumulate in ``BENCH_speakup.json`` at the repository root: every
@@ -79,6 +80,18 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         scenario="stress-mega",
         args=dict(),
         quick_args=dict(good_clients=400, bad_clients=100, capacity_rps=50.0, duration=0.5),
+    ),
+    BenchCase(
+        name="thinner-mega",
+        scenario="thinner-mega",
+        args=dict(),
+        quick_args=dict(
+            good_clients=1500,
+            flash_clients=100,
+            bad_clients=60,
+            capacity_rps=300.0,
+            duration=1.5,
+        ),
     ),
 )
 
@@ -236,9 +249,9 @@ def check_regression(
 ) -> List[str]:
     """Compare fresh measurements against a committed entry.
 
-    Returns a list of human-readable problems (empty = no regression).  Two
-    signals per case; cases missing from the baseline are skipped (they are
-    new, there is nothing to regress from):
+    Returns a list of human-readable problems (empty = no regression).
+    Three signals per case; cases missing from the baseline are skipped
+    (they are new, there is nothing to regress from):
 
     * **events/sec** — a case regresses when its fresh throughput falls more
       than ``tolerance`` below the committed value.  Wall-clock based, so
@@ -248,11 +261,18 @@ def check_regression(
       machine-independent; growth beyond ``tolerance`` means the allocator
       is genuinely touching more flows per event (an algorithmic cliff),
       regardless of how fast the runner is.
+    * **admission work per auction** (``contenders_scanned /
+      auctions_held``) — equally machine-independent; this is the cost of
+      one winner-selection decision, O(log n)-ish with the kinetic bid
+      index and O(n) if a change regresses a scan site back to pulling
+      every contender's bid.  Skipped when the committed entry predates
+      the counters or held no auctions.
 
-    ``signals`` selects which to apply: ``"all"`` (both) or ``"work"``
-    (the machine-independent ratio only — what CI uses, since committed
-    events/sec numbers come from whatever machine recorded the entry and a
-    slower runner would otherwise fail the gate with no real regression).
+    ``signals`` selects which to apply: ``"all"`` (every signal) or
+    ``"work"`` (the machine-independent ratios only — what CI uses, since
+    committed events/sec numbers come from whatever machine recorded the
+    entry and a slower runner would otherwise fail the gate with no real
+    regression).
     """
     if not 0.0 < tolerance < 1.0:
         raise ExperimentError(f"tolerance must be in (0, 1), got {tolerance}")
@@ -291,6 +311,25 @@ def check_regression(
                     f"(machine-independent signal; entry "
                     f"{baseline.get('date', '?')}, tolerance {tolerance:.0%})"
                 )
+        committed_auctions = float(
+            committed.get("counters", {}).get("auctions_held", 0.0)
+        )
+        committed_scanned = float(
+            committed.get("counters", {}).get("contenders_scanned", 0.0)
+        )
+        fresh_auctions = measurement.counters.get("auctions_held", 0)
+        if committed_auctions > 0 and committed_scanned > 0 and fresh_auctions > 0:
+            committed_scan = committed_scanned / committed_auctions
+            fresh_scan = (
+                measurement.counters.get("contenders_scanned", 0) / fresh_auctions
+            )
+            if fresh_scan > committed_scan * (1.0 + tolerance):
+                problems.append(
+                    f"{measurement.case}: admission work grew to {fresh_scan:.2f} "
+                    f"contenders scanned per auction vs the committed "
+                    f"{committed_scan:.2f} (machine-independent signal; entry "
+                    f"{baseline.get('date', '?')}, tolerance {tolerance:.0%})"
+                )
     return problems
 
 
@@ -301,6 +340,8 @@ def format_measurements(measurements: Sequence[BenchMeasurement]) -> List[Tuple]
         counters = m.counters
         calls = counters.get("waterfill_calls", 0)
         touched = counters.get("flows_touched", 0)
+        auctions = counters.get("auctions_held", 0)
+        scanned = counters.get("contenders_scanned", 0)
         rows.append(
             (
                 m.case,
@@ -312,6 +353,7 @@ def format_measurements(measurements: Sequence[BenchMeasurement]) -> List[Tuple]
                 calls,
                 f"{touched / calls:.1f}" if calls else "-",
                 counters.get("cache_hits", 0),
+                f"{scanned / auctions:.1f}" if auctions else "-",
             )
         )
     return rows

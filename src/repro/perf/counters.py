@@ -14,6 +14,19 @@ turns "the hot path got faster" from a claim into a tracked trajectory:
 * ``flows_touched``    — total flows handed to waterfill (the per-recompute
   component size is ``flows_touched / waterfill_calls``);
 * ``cache_hits`` / ``cache_misses`` — component-signature rate-cache traffic.
+
+The speak-up admission path adds three more (incremented by the thinner
+layer, which shares the network's counter object):
+
+* ``auctions_held``        — winner selections run by the thinner (virtual
+  auctions, quantum grants, retry lotteries);
+* ``contenders_scanned``   — contender entries examined across those
+  selections.  ``contenders_scanned / auctions_held`` is the
+  machine-independent cost of one admission decision: O(n) with a linear
+  scan, O(log n) with the kinetic bid index;
+* ``bid_index_refreshes``  — bid-index entries re-keyed because the fluid
+  allocator changed a payment flow's rate (the push half of the kinetic
+  scheme; zero while rates are quiescent).
 """
 
 from __future__ import annotations
@@ -31,6 +44,9 @@ class SimCounters:
         "flows_touched",
         "cache_hits",
         "cache_misses",
+        "auctions_held",
+        "contenders_scanned",
+        "bid_index_refreshes",
     )
 
     def __init__(self) -> None:
@@ -44,6 +60,9 @@ class SimCounters:
         self.flows_touched = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.auctions_held = 0
+        self.contenders_scanned = 0
+        self.bid_index_refreshes = 0
 
     def snapshot(self) -> Dict[str, int]:
         """The counters as a plain dict (JSON-ready)."""

@@ -66,6 +66,22 @@ class RandomStream:
             raise ValueError(f"rate must be positive, got {rate}")
         return self._rng.expovariate(rate)
 
+    def exponentials(self, rate: float, count: int) -> list[float]:
+        """``count`` consecutive exponential draws in one call.
+
+        Returns exactly the values ``count`` successive :meth:`exponential`
+        calls would (same underlying stream state), but with the attribute
+        lookups and call overhead hoisted out of the loop — the batched
+        arrival pregeneration in :mod:`repro.clients.base` draws thousands
+        of inter-arrival gaps per refill.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        expovariate = self._rng.expovariate
+        return [expovariate(rate) for _ in range(count)]
+
     def service_time(self, capacity: float, jitter: float = 0.1) -> float:
         """Service time uniform in [(1-jitter)/c, (1+jitter)/c] (paper section 6)."""
         if capacity <= 0:

@@ -9,8 +9,9 @@ callers (tests, benchmarks) shrink them via the factory arguments.
 Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``rtt-tiers`` (Figure 7), ``shared-bottleneck`` (Figure 8), ``cross-traffic``
 (Figure 9).  New workloads: ``flash-crowd``, ``pulsed-attack``,
-``diurnal-demand``, ``uplink-tiers``, and the perf-harness workload
-``stress-mega``.
+``diurnal-demand``, ``uplink-tiers``, and the perf-harness workloads
+``stress-mega`` (allocator-bound) and ``thinner-mega`` (auction-bound,
+≥50k clients).
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.constants import (
     milliseconds,
 )
 from repro.errors import ExperimentError
+from repro.simnet.topology import DEFAULT_THINNER_BANDWIDTH
 from repro.scenarios.spec import (
     ArrivalSpec,
     GroupSpec,
@@ -595,6 +597,91 @@ def stress_mega(
     return ScenarioSpec(
         name="stress-mega",
         topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("thinner-mega")
+def thinner_mega(
+    good_clients: int = 48000,
+    flash_clients: int = 1000,
+    bad_clients: int = 1000,
+    capacity_rps: float = 16000.0,
+    defense: str = "speakup",
+    good_rate: float = 1.0,
+    bad_rate: float = 40.0,
+    bad_window: int = 20,
+    flash_start_s: float = 0.3,
+    flash_ramp_s: float = 0.15,
+    flash_floor: float = 0.02,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    provisioning_headroom: float = 1.25,
+    duration: float = 0.5,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Perf-harness auction workload: ≥50k clients contending at one thinner.
+
+    Not a paper figure — this is the ``repro.cli bench`` *admission-path*
+    mega scale, complementing ``stress-mega`` (which stresses the fluid
+    allocator).  Tens of thousands of window-limited clients park requests
+    at the thinner while a heavily over-demanded server frees slots at
+    ``capacity_rps``, so the run is dominated by winner selection: every
+    freed slot holds a virtual auction over the whole contender set (§3.3).
+    A small flash cohort idles at ``flash_floor`` until ``flash_start_s``,
+    exercising batched arrival pregeneration for mostly-idle clients, and
+    the bad cohort keeps ``bad_window`` concurrent payment channels per
+    uplink (the §7.1 parameters), which also drives ≥16-flow components
+    through the allocator's signature cache.  The thinner's access link is
+    provisioned at ``provisioning_headroom`` times the aggregate client
+    bandwidth (condition C1 of §4.3), so admission — not the fluid
+    allocator — is the bottleneck.
+    """
+    total = good_clients + flash_clients + bad_clients
+    thinner_bandwidth = max(
+        DEFAULT_THINNER_BANDWIDTH, total * client_bandwidth_bps * provisioning_headroom
+    )
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=good_rate,
+            ),
+        )
+    if flash_clients:
+        groups += (
+            GroupSpec(
+                count=flash_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                category="flash",
+                arrival=ArrivalSpec(
+                    kind="flash",
+                    start_s=flash_start_s,
+                    ramp_s=flash_ramp_s,
+                    floor=flash_floor,
+                ),
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=bad_rate,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="thinner-mega",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=thinner_bandwidth),
         groups=groups,
         capacity_rps=capacity_rps,
         defense=defense,

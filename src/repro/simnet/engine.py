@@ -96,6 +96,11 @@ class Engine:
         self._cancelled_in_queue = 0
         self._needs_flush = False
         self._flush_callbacks: List[Callable[[], None]] = []
+        #: The ``until`` of the current/most recent :meth:`run`, or ``None``.
+        #: Purely advisory — workload generators (the clients' batched
+        #: arrival pregeneration) use it to avoid pregenerating events far
+        #: past the end of the run.
+        self.run_horizon: Optional[float] = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -214,6 +219,7 @@ class Engine:
         """
         self._running = True
         self._stopped = False
+        self.run_horizon = until
         fired = 0
         queue = self._queue
         try:

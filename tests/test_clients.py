@@ -151,3 +151,102 @@ def test_cheaters_cannot_beat_proportional_share_by_much():
     # bad client strategy (both hold ~half the bandwidth).
     assert focused.bad_allocation < plain.bad_allocation + 0.2
     assert focused.bad_allocation < 0.75
+
+
+# ---------------------------------------------------------------------------
+# Batched arrival pregeneration
+# ---------------------------------------------------------------------------
+
+
+def test_arrival_batch_validation():
+    deployment, hosts = build_empty_deployment()
+    with pytest.raises(ClientError):
+        GoodClient(deployment, hosts[0], arrival_batch=0)
+
+
+def test_batched_arrivals_match_legacy_scheduler_exactly():
+    """The pregenerated path must consume the client stream in the legacy
+    order.  A trivially-callable difficulty forces the legacy per-event
+    scheduler without drawing anything itself, so both runs must produce
+    bit-identical request issue times and outcomes."""
+
+    def run(difficulty):
+        deployment, hosts = build_empty_deployment(clients=4, capacity=8.0, seed=9)
+        clients = [
+            GoodClient(deployment, hosts[0], difficulty=difficulty),
+            GoodClient(deployment, hosts[1], difficulty=difficulty),
+            BadClient(deployment, hosts[2], difficulty=difficulty),
+            BadClient(deployment, hosts[3], difficulty=difficulty),
+        ]
+        assert clients[0]._batched_arrivals == (not callable(difficulty))
+        deployment.run(8.0)
+        return deployment
+
+    batched = run(1.0)
+    legacy = run(lambda client: 1.0)
+    for client_b, client_l in zip(batched.clients, legacy.clients):
+        assert client_b.stats.issued == client_l.stats.issued
+        assert client_b.stats.served == client_l.stats.served
+        assert client_b.stats.response_times == client_l.stats.response_times
+        assert client_b.stats.prices == client_l.stats.prices
+    assert batched.results().to_dict() == legacy.results().to_dict()
+
+
+def test_batched_arrivals_match_legacy_under_modulation():
+    """Same contract with thinning in play: the refill loop's
+    gap/accept draw interleaving must match the per-event scheduler's."""
+
+    def run(difficulty):
+        deployment, hosts = build_empty_deployment(clients=2, capacity=8.0, seed=5)
+        modulator = lambda now: 0.4 if now < 4.0 else 1.0
+        for host in hosts:
+            GoodClient(deployment, host, rate_rps=6.0,
+                       rate_modulator=modulator, difficulty=difficulty)
+        deployment.run(8.0)
+        return [client.stats.issued for client in deployment.clients], deployment.results()
+
+    batched_issued, batched_result = run(1.0)
+    legacy_issued, legacy_result = run(lambda client: 1.0)
+    assert batched_issued == legacy_issued
+    assert batched_result.to_dict() == legacy_result.to_dict()
+
+
+def test_idle_modulated_clients_cost_almost_no_events():
+    """A floor-zero modulated cohort must not scale engine event count:
+    thinned-away candidates die in the refill loop, not in the queue."""
+    from repro.clients.base import MAX_CANDIDATES_PER_REFILL
+
+    def run(modulator):
+        deployment, hosts = build_empty_deployment(clients=4, capacity=10.0, seed=2)
+        for host in hosts:
+            GoodClient(deployment, host, rate_rps=50.0, rate_modulator=modulator)
+        deployment.run(20.0)
+        return deployment.engine.events_processed
+
+    idle_events = run(lambda now: 0.0)
+    # 4 clients x 50 candidates/s x 20 s = 4000 candidates; the legacy
+    # scheduler would have burned one event per candidate.  Batched
+    # pregeneration needs only ~one resume event per MAX_CANDIDATES.
+    candidates = 4 * 50.0 * 20.0
+    assert idle_events <= candidates / MAX_CANDIDATES_PER_REFILL + 16
+
+
+def test_pregeneration_stops_near_run_horizon():
+    """A short run must not pregenerate (or buffer) a whole batch of
+    post-horizon arrivals for every client."""
+    deployment, hosts = build_empty_deployment(clients=1, capacity=10.0, seed=3)
+    client = GoodClient(deployment, hosts[0], rate_rps=1.0)
+    deployment.run(0.5)
+    # rate 1/s over 0.5 s: a handful of chained chunks at most, not the
+    # full 64-draw batch (~64 simulated seconds of lookahead).
+    assert len(client._pending_arrivals) <= 8
+    assert client._gen_time < 40.0
+
+
+def test_population_spec_threads_arrival_batch():
+    deployment, hosts = build_empty_deployment(clients=2)
+    clients = build_population(
+        deployment, hosts,
+        [PopulationSpec(count=2, client_class="good", arrival_batch=7)],
+    )
+    assert all(client.arrival_batch == 7 for client in clients)

@@ -87,8 +87,9 @@ def test_bench_case_overrides_merge_quick():
 
 def test_pinned_suite_shape():
     names = [case.name for case in BENCH_CASES]
-    assert names == ["lan-small", "tiers-medium", "stress-mega"]
+    assert names == ["lan-small", "tiers-medium", "stress-mega", "thinner-mega"]
     assert BENCH_CASES[2].scenario == "stress-mega"
+    assert BENCH_CASES[3].scenario == "thinner-mega"
 
 
 def test_run_case_measures_and_fingerprints():
@@ -173,6 +174,100 @@ def test_check_regression_counter_signal_is_machine_independent():
     assert len(problems) == 1
     assert "flows touched per event" in problems[0]
     assert f"{fresh_work:.2f}" in problems[0]
+
+
+def test_quick_scale_bench_exercises_rate_cache():
+    """The quick-mode blind spot from PR 2: no pinned quick case drove the
+    component-signature rate cache (stress-mega components sit below the
+    16-flow threshold).  The thinner-mega quick case must produce real
+    cache traffic — window-20 bad clients put 21-flow components through
+    the allocator — so CI actually covers the cache path."""
+    case = next(c for c in BENCH_CASES if c.name == "thinner-mega")
+    small = BenchCase(
+        name=case.name,
+        scenario=case.scenario,
+        args=case.args,
+        # The pinned quick args, shrunk further so the suite stays fast;
+        # same shape (window-20 bad cohort) so the cache still engages.
+        quick_args=dict(case.quick_args, good_clients=80, flash_clients=10,
+                        bad_clients=20, capacity_rps=40.0, duration=1.0),
+    )
+    measurement = run_case(small, quick=True)
+    counters = measurement.counters
+    assert counters["cache_hits"] + counters["cache_misses"] > 0
+    assert counters["cache_hits"] > 0
+    # The case is auction-bound by construction: admission decisions happen
+    # and each one is far cheaper than a full scan of the contender set.
+    assert counters["auctions_held"] > 0
+    assert counters["contenders_scanned"] > 0
+
+
+def test_check_regression_flags_admission_work_growth():
+    """The contenders-scanned-per-auction signal (the CI gate for the
+    kinetic bid index) trips when admission work regresses toward O(n)."""
+    measurement = run_case(TINY_CASE, quick=True)
+    auctions = measurement.counters["auctions_held"]
+    scanned = measurement.counters["contenders_scanned"]
+    assert auctions > 0 and scanned > 0
+    committed = {
+        "events_per_s": measurement.events_per_s,
+        "events": measurement.events,
+        "counters": {
+            "flows_touched": measurement.counters["flows_touched"],
+            "auctions_held": auctions,
+            "contenders_scanned": scanned,
+        },
+    }
+    baseline = {"date": "2026-01-01", "cases": {"tiny": committed}}
+    # Identical admission work: clean.
+    assert check_regression([measurement], baseline, tolerance=0.3, signals="work") == []
+    # The committed entry did a third of the per-auction work: flagged.
+    committed["counters"]["contenders_scanned"] = scanned / 3.0
+    problems = check_regression([measurement], baseline, tolerance=0.3, signals="work")
+    assert len(problems) == 1
+    assert "contenders scanned per auction" in problems[0]
+    # Entries that predate the admission counters are skipped, not tripped.
+    committed["counters"].pop("contenders_scanned")
+    committed["counters"].pop("auctions_held")
+    assert check_regression([measurement], baseline, tolerance=0.3, signals="work") == []
+
+
+def test_committed_bench_file_has_pr3_admission_pair():
+    """The PR 3 acceptance artifact: baseline (O(n) auction scans) and
+    optimised (kinetic bid index + batched arrivals) full-mode entries,
+    recorded back-to-back on one machine, with thinner-mega events/sec
+    improved at least 10x and per-auction admission work collapsed."""
+    import os
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    document = load_document(os.path.join(repo_root, "BENCH_speakup.json"))
+    full = [entry for entry in document["entries"] if entry["mode"] == "full"]
+    baselines = [e for e in full if e["label"].startswith("PR3 baseline")]
+    optimised = [e for e in full if e["label"].startswith("PR3: kinetic")]
+    assert baselines and optimised, (
+        "the PR 3 baseline/optimised full-mode entry pair must stay in "
+        "BENCH_speakup.json — it is the acceptance artifact for the "
+        "kinetic bid index"
+    )
+    base_case = baselines[-1]["cases"]["thinner-mega"]
+    new_case = optimised[-1]["cases"]["thinner-mega"]
+    assert base_case["clients"] >= 50_000
+    assert new_case["events_per_s"] >= 10.0 * base_case["events_per_s"], (
+        f"thinner-mega: {new_case['events_per_s']:.0f} events/s is not >= 10x "
+        f"the baseline {base_case['events_per_s']:.0f} events/s"
+    )
+    base_scan = (
+        base_case["counters"]["contenders_scanned"]
+        / base_case["counters"]["auctions_held"]
+    )
+    new_scan = (
+        new_case["counters"]["contenders_scanned"]
+        / new_case["counters"]["auctions_held"]
+    )
+    # O(n) scans touched tens of thousands of contenders per auction; the
+    # kinetic index touches a few dozen (slope groups + stale pops).
+    assert base_scan > 1_000
+    assert new_scan < 100
 
 
 def test_check_regression_work_signal_ignores_wall_clock():

@@ -151,3 +151,19 @@ def test_streams_are_reproducible_property(seed, name):
     first = RandomStream(seed, name)
     second = RandomStream(seed, name)
     assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+
+def test_exponentials_batch_matches_sequential_draws():
+    from repro.rng import RandomStream
+
+    a = RandomStream(42, "batch")
+    b = RandomStream(42, "batch")
+    batched = a.exponentials(3.0, 10)
+    sequential = [b.exponential(3.0) for _ in range(10)]
+    assert batched == sequential
+    # The stream state is identical afterwards too.
+    assert a.exponential(3.0) == b.exponential(3.0)
+    with pytest.raises(ValueError):
+        a.exponentials(0.0, 3)
+    with pytest.raises(ValueError):
+        a.exponentials(1.0, -1)

@@ -33,6 +33,9 @@ SMALL_SCENARIO_KWARGS = {
     "uplink-tiers": dict(clients_per_tier=2, capacity_rps=10.0, duration=6.0),
     "stress-mega": dict(good_clients=4, bad_clients=2, bad_window=2,
                         capacity_rps=10.0, duration=6.0),
+    "thinner-mega": dict(good_clients=3, flash_clients=2, bad_clients=2,
+                         bad_rate=8.0, bad_window=3, capacity_rps=10.0,
+                         duration=6.0),
 }
 
 
