@@ -77,8 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--bad", type=int, default=5)
     demo.add_argument("--capacity", type=float, default=20.0)
     demo.add_argument("--duration", type=float, default=20.0)
+    # No argparse `choices`: unknown names go through the same clean
+    # one-line ReproError path (listing the valid choices) as every other
+    # subcommand, instead of argparse's usage dump.
     demo.add_argument("--defense", default="speakup",
-                      choices=["speakup", "retry", "quantum", "none"])
+                      help="thinner variant: speakup, retry, quantum, or none")
     demo.add_argument("--seed", type=int, default=0)
 
     for name, help_text in [
@@ -94,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         sub = subparsers.add_parser(name, help=help_text)
         _add_scale_arguments(sub)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="section 4.3: empirical thinner-fleet provisioning curve",
+        description=(
+            "Run the same over-subscribed workload in front of 1, 2, 4, ... "
+            "thinner shards and compare each shard's measured payment sink "
+            "rate against the closed form (G+B)/N of "
+            "repro.analysis.provisioning."
+        ),
+    )
+    _add_scale_arguments(fleet)
+    fleet.add_argument("--shards", default="1,2,4,8", metavar="N1,N2,...",
+                       help="comma-separated fleet sizes to sweep")
+    fleet.add_argument("--policy", default="least-loaded",
+                       help="shard dispatch policy (hash, least-loaded, random)")
+    fleet.add_argument("--admission", default="partitioned",
+                       help="admission mode (partitioned, pooled)")
 
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
@@ -357,6 +378,24 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             rows=[(r.chunk_bytes, r.mbits_per_second, r.chunks_per_second) for r in results],
             title="Section 7.1 analogue: payment accounting sink rate (Python hot path)",
         ))
+        return 0
+
+    if args.command == "fleet":
+        from repro.experiments.fleet import fleet_provisioning_curve, format_fleet
+
+        try:
+            shard_counts = tuple(int(n) for n in args.shards.split(","))
+        except ValueError:
+            raise ReproError(
+                f"--shards expects comma-separated integers, got {args.shards!r}"
+            )
+        rows = fleet_provisioning_curve(
+            _scale_from(args),
+            shard_counts=shard_counts,
+            shard_policy=args.policy,
+            admission_mode=args.admission,
+        )
+        print(format_fleet(rows))
         return 0
 
     scale = _scale_from(args)

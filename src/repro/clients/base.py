@@ -119,7 +119,12 @@ class BaseClient:
         self.deployment = deployment
         self.engine = deployment.engine
         self.network = deployment.network
-        self.thinner = deployment.thinner
+        #: The thinner shard serving this client (always 0 outside fleet
+        #: deployments); requests, payment channels, and responses all flow
+        #: through the shard's own thinner host.
+        self.shard = deployment.assign_shard(host)
+        self.thinner = deployment.thinners[self.shard]
+        self.thinner_host = deployment.thinner_hosts[self.shard]
         self.host = host
         self.rate_rps = float(rate_rps)
         self.window = int(window)
@@ -287,7 +292,7 @@ class BaseClient:
         request.sent_at = self.engine.now
         self.network.send(
             self.host,
-            self.deployment.thinner_host,
+            self.thinner_host,
             size_bytes=request.size_bytes,
             label=f"request:{request.request_id}",
             on_complete=lambda _flow: self.thinner.receive_request(request, self),
@@ -299,7 +304,9 @@ class BaseClient:
         """The thinner asked for payment: open a payment channel."""
         if request.request_id in self.channels:
             return
-        channel = self.deployment.payment_channel(self.host, request)
+        channel = self.deployment.payment_channel(
+            self.host, request, thinner_host=self.thinner_host
+        )
         self.channels[request.request_id] = channel
         channel.open()
         self.thinner.register_payment(request, channel)

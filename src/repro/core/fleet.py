@@ -1,0 +1,213 @@
+"""Scaling the thinner out to a sharded fleet (§4.3).
+
+The paper's condition C1 says the thinner must be provisioned to absorb a
+full attack's inflated traffic, and §4.3 sketches how: "this defense scales
+...  one can deploy many thinners behind a load balancer" — each front-end
+absorbs a slice of the payment traffic, and the aggregate fleet bandwidth is
+what must cover ``G + B``.  This module supplies the pieces a
+:class:`~repro.core.frontend.Deployment` uses when
+``DeploymentConfig.thinner_shards > 1``:
+
+* :class:`ShardRouter` — the dispatch policy that pins each client to one
+  front-end shard (the moral equivalent of DNS round-robin or a
+  consistent-hashing load balancer; clients stick to their shard for the
+  whole run, as browsers stick to a resolved address);
+* :class:`PooledAdmission` / :class:`PooledServerView` — the shared-server
+  coordination used by the ``"pooled"`` admission mode, where every shard
+  can claim any freed server slot;
+* ``"partitioned"`` admission needs no coordinator: the deployment gives
+  each shard its own :class:`~repro.httpd.server.EmulatedServer` running at
+  ``c / shards``, so a shard's auctions only ever fill its own slots.
+
+The two admission modes bracket how a real fleet shares the back-end:
+
+* **partitioned** — each front-end owns a fixed ``1/N`` slice of the
+  server's capacity (e.g. a dedicated worker pool per front-end).  Shards
+  are fully independent, so every thinner variant — including the
+  suspend/resume quantum thinner of §5 — works unchanged.
+* **pooled** — all front-ends feed one shared server, and a freed slot goes
+  to the next shard (round-robin among shards with waiting contenders).
+  Payments never compare across shards — each shard auctions only its own
+  contenders, exactly like independent thinners behind a load balancer.
+  The quantum thinner is not supported in this mode: it suspends and
+  resumes "the" active request, which is ill-defined when another shard's
+  request may hold the shared slot.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List, Optional
+
+from repro.errors import ThinnerError
+from repro.httpd.messages import Request
+from repro.httpd.server import EmulatedServer
+from repro.rng import RandomStream
+
+#: Dispatch policies a fleet can use to pin clients to shards.
+SHARD_POLICIES = ("hash", "least-loaded", "random")
+
+#: How the fleet shares the protected server's capacity.
+ADMISSION_MODES = ("partitioned", "pooled")
+
+
+class ShardRouter:
+    """Assigns each client to one thinner shard, deterministically.
+
+    * ``hash``         — stable hash of the client's host name (CRC32), the
+      consistent-hashing analogue: the same client lands on the same shard
+      in every run and regardless of registration order;
+    * ``least-loaded`` — the shard with the fewest assigned clients so far
+      (ties to the lowest index), i.e. a perfectly informed balancer;
+    * ``random``       — a uniform draw per client from the deployment's
+      seeded ``"shard-dispatch"`` stream, i.e. naive DNS round-robin with
+      client-side caching.
+
+    Assignments are made once, at client registration, and never migrate —
+    matching §4.3's sketch, where a client resolves to one front-end and
+    keeps paying it.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        policy: str = "hash",
+        rng: Optional[RandomStream] = None,
+    ) -> None:
+        if shards < 1:
+            raise ThinnerError(f"shards must be at least 1, got {shards}")
+        if policy not in SHARD_POLICIES:
+            raise ThinnerError(
+                f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
+            )
+        if policy == "random" and shards > 1 and rng is None:
+            raise ThinnerError("the 'random' shard policy needs a seeded stream")
+        self.shards = shards
+        self.policy = policy
+        self.rng = rng
+        #: Clients assigned to each shard so far (drives ``least-loaded``).
+        self.counts: List[int] = [0] * shards
+
+    def assign(self, client_name: str) -> int:
+        """The shard index for ``client_name`` (counts it as assigned)."""
+        if self.shards == 1:
+            # Single-thinner deployments take this path for every client;
+            # keep it free of hashing and RNG draws.
+            self.counts[0] += 1
+            return 0
+        if self.policy == "hash":
+            index = zlib.crc32(client_name.encode("utf-8")) % self.shards
+        elif self.policy == "least-loaded":
+            index = min(range(self.shards), key=lambda i: (self.counts[i], i))
+        else:  # random
+            index = self.rng.randint(0, self.shards - 1)
+        self.counts[index] += 1
+        return index
+
+
+class PooledServerView:
+    """One shard's view of the shared server in ``pooled`` admission mode.
+
+    Thinners drive their server through a narrow surface — ``busy``,
+    ``submit``, ``capacity_rps``/``mean_service_time``, and the
+    ``on_request_done``/``on_ready`` callbacks.  The view forwards the
+    queries to the real :class:`~repro.httpd.server.EmulatedServer` and
+    routes the callbacks through the :class:`PooledAdmission` coordinator,
+    so each shard believes it owns a (frequently busy) server of the full
+    capacity ``c``.
+    """
+
+    def __init__(self, pool: "PooledAdmission", shard_index: int) -> None:
+        self._pool = pool
+        self._server = pool.server
+        self.shard_index = shard_index
+        #: Set by :class:`~repro.core.thinner.ThinnerBase` at construction.
+        self.on_request_done: Optional[Callable[[Request], None]] = None
+        self.on_ready: Optional[Callable[[], None]] = None
+
+    # -- queries forwarded to the shared server --------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._server.busy
+
+    @property
+    def capacity_rps(self) -> float:
+        return self._server.capacity_rps
+
+    @property
+    def mean_service_time(self) -> float:
+        return self._server.mean_service_time
+
+    @property
+    def stats(self):
+        return self._server.stats
+
+    # -- the one mutation a pooled shard may perform ----------------------------
+
+    def submit(self, request: Request) -> None:
+        """Claim the shared slot for one of this shard's requests."""
+        self._pool.note_submit(request, self.shard_index)
+        self._server.submit(request)
+
+
+class PooledAdmission:
+    """Round-robin slot grants over one shared server (``pooled`` mode).
+
+    The coordinator owns the real server's callbacks.  When a request
+    finishes, its response is routed back to the shard that submitted it;
+    when the slot frees up, the shards are *offered* it in round-robin
+    order starting after the last shard that admitted, and the first shard
+    whose winner-selection submits a request keeps it.  A shard with no
+    contenders declines the offer by marking itself idle (its
+    ``_server_ready`` hook returns without submitting), exactly as a
+    single thinner does when its contender set is empty.
+    """
+
+    def __init__(self, server: EmulatedServer) -> None:
+        self.server = server
+        self.views: List[PooledServerView] = []
+        self._owner_by_request: dict[int, int] = {}
+        self._next_offer = 0
+        server.on_request_done = self._request_done
+        server.on_ready = self._slot_freed
+
+    def view(self) -> PooledServerView:
+        """Create the server view for the next shard."""
+        view = PooledServerView(self, len(self.views))
+        self.views.append(view)
+        return view
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def note_submit(self, request: Request, shard_index: int) -> None:
+        if self.server.busy:  # pragma: no cover - EmulatedServer raises too
+            raise ThinnerError(
+                f"shard {shard_index} submitted while the shared server is busy"
+            )
+        self._owner_by_request[request.request_id] = shard_index
+
+    # -- callback routing -------------------------------------------------------
+
+    def _request_done(self, request: Request) -> None:
+        owner = self._owner_by_request.pop(request.request_id, None)
+        if owner is None:  # pragma: no cover - defensive
+            return
+        view = self.views[owner]
+        if view.on_request_done is not None:
+            view.on_request_done(request)
+
+    def _slot_freed(self) -> None:
+        count = len(self.views)
+        for step in range(count):
+            index = (self._next_offer + step) % count
+            view = self.views[index]
+            if view.on_ready is not None:
+                view.on_ready()
+            if self.server.busy:
+                # This shard took the slot; the next free slot is offered to
+                # its successor first (round-robin fairness across shards).
+                self._next_offer = (index + 1) % count
+                return
+        # No shard had a contender: every shard has marked itself idle and
+        # the next arrival anywhere in the fleet is admitted for free.

@@ -1,16 +1,23 @@
 """Deployment: compose a protected site out of the pieces.
 
 A :class:`Deployment` owns the simulation engine, the fluid network over a
-topology, the emulated server, and one thinner variant, and it keeps track
-of the clients that register with it.  Experiments, examples and tests all
-talk to this object rather than wiring the parts by hand.
+topology, the emulated server, and the thinner front-end(s), and it keeps
+track of the clients that register with it.  Experiments, examples and tests
+all talk to this object rather than wiring the parts by hand.
+
+A deployment normally runs **one** thinner (the paper's evaluation setup);
+setting ``DeploymentConfig.thinner_shards`` above 1 deploys a sharded
+*fleet* of independent thinner front-ends instead (the §4.3 scale-out
+sketch) — see :mod:`repro.core.fleet` for the dispatch policies and the
+partitioned/pooled admission modes.  With ``thinner_shards=1`` the wiring
+is byte-for-byte the historical single-thinner construction.
 """
 
 from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.constants import (
     DEFAULT_POST_BYTES,
@@ -21,6 +28,7 @@ from repro.constants import (
 from repro.errors import ExperimentError
 from repro.core.admission import NoDefenseThinner
 from repro.core.auction import VirtualAuctionThinner
+from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES, PooledAdmission, ShardRouter
 from repro.core.payment import PaymentChannel
 from repro.core.quantum import QuantumAuctionThinner
 from repro.core.retry import RandomDropThinner
@@ -69,6 +77,25 @@ class DeploymentConfig:
     enable_tracing: bool = False
     #: Bound on concurrent contenders (connection descriptors, §6); None = unbounded.
     max_contenders: Optional[int] = None
+    #: Number of thinner front-end shards (§4.3 scale-out).  1 deploys the
+    #: paper's single thinner; above 1 the deployment needs one thinner host
+    #: per shard (see :func:`repro.simnet.topology.build_fleet`) and builds
+    #: one independent thinner — own contender set, own
+    #: :class:`~repro.core.bidindex.KineticBidIndex`, own payment channels —
+    #: in front of the shared server per shard.
+    thinner_shards: int = 1
+    #: How clients are pinned to shards when ``thinner_shards > 1``:
+    #: ``"hash"`` (stable CRC32 of the client name — consistent hashing),
+    #: ``"least-loaded"`` (fewest assigned clients), or ``"random"`` (a
+    #: seeded uniform draw per client).  See :class:`repro.core.fleet.ShardRouter`.
+    shard_policy: str = "hash"
+    #: How the fleet shares the server's admission slots:
+    #: ``"partitioned"`` gives each shard a dedicated ``c / shards`` slice
+    #: (fully independent shards; every defense works), ``"pooled"`` lets
+    #: any shard claim any freed slot of the one shared server (round-robin
+    #: offers; the quantum thinner is not supported).  Ignored when
+    #: ``thinner_shards == 1``.  See :mod:`repro.core.fleet`.
+    admission_mode: str = "partitioned"
     #: Model TCP slow start on payment POSTs (disable for speed in huge sweeps).
     model_slow_start: bool = True
     #: Pause Python's *cyclic* garbage collector while the event loop runs.
@@ -93,6 +120,28 @@ class DeploymentConfig:
             raise ExperimentError("request_bytes must be positive")
         if self.encouragement_delay < 0:
             raise ExperimentError("encouragement_delay must be non-negative")
+        if self.thinner_shards < 1:
+            raise ExperimentError("thinner_shards must be at least 1")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ExperimentError(
+                f"unknown shard_policy {self.shard_policy!r}; "
+                f"expected one of {SHARD_POLICIES}"
+            )
+        if self.admission_mode not in ADMISSION_MODES:
+            raise ExperimentError(
+                f"unknown admission_mode {self.admission_mode!r}; "
+                f"expected one of {ADMISSION_MODES}"
+            )
+        if (
+            self.thinner_shards > 1
+            and self.admission_mode == "pooled"
+            and self.defense == "quantum"
+        ):
+            raise ExperimentError(
+                "the quantum thinner needs 'partitioned' admission "
+                "(pooled mode cannot suspend/resume a shared slot another "
+                "shard may hold)"
+            )
 
 
 class Deployment:
@@ -101,42 +150,101 @@ class Deployment:
     def __init__(
         self,
         topology: Topology,
-        thinner_host: Host,
+        thinner_host: Union[Host, Sequence[Host]],
         config: Optional[DeploymentConfig] = None,
         thinner_factory: Optional[Callable[["Deployment"], ThinnerBase]] = None,
     ) -> None:
         self.config = config or DeploymentConfig()
         self.config.validate()
         self.topology = topology
-        self.thinner_host = thinner_host
+        hosts = [thinner_host] if isinstance(thinner_host, Host) else list(thinner_host)
+        if not hosts:
+            raise ExperimentError("a deployment needs at least one thinner host")
+        shards = self.config.thinner_shards
+        if len(hosts) != shards:
+            raise ExperimentError(
+                f"thinner_shards={shards} needs exactly {shards} thinner "
+                f"host(s), got {len(hosts)} (build the topology with "
+                f"repro.simnet.topology.build_fleet)"
+            )
+        if thinner_factory is not None and shards > 1:
+            raise ExperimentError(
+                "custom thinner factories support a single shard; "
+                "use thinner_shards=1"
+            )
+        #: One thinner host per shard; ``thinner_host`` stays shard 0 for
+        #: the (overwhelmingly common) single-thinner deployments.
+        self.thinner_hosts = hosts
+        self.thinner_host = hosts[0]
 
         self.engine = Engine()
         self.streams = StreamFactory(self.config.seed)
         self.tracer = Tracer() if self.config.enable_tracing else None
         self.network = FluidNetwork(self.engine, topology, tracer=self.tracer)
         self.slow_start = SlowStartRamp(self.network) if self.config.model_slow_start else None
-        self.server = EmulatedServer(
-            self.engine,
-            self.config.server_capacity_rps,
-            rng=self.streams.stream("server"),
-            jitter=self.config.service_jitter,
-        )
-        if thinner_factory is not None:
-            self.thinner = thinner_factory(self)
+
+        #: The back-end server(s).  A single-thinner or pooled-fleet
+        #: deployment has exactly one; a partitioned fleet has one
+        #: ``c / shards`` server per shard.  ``server`` stays the shard-0 /
+        #: shared instance for existing callers.
+        self.servers: List[EmulatedServer] = []
+        self._pool: Optional[PooledAdmission] = None
+        pooled = shards > 1 and self.config.admission_mode == "pooled"
+        if shards == 1 or pooled:
+            self.servers.append(self._build_server(0, self.config.server_capacity_rps))
+            if pooled:
+                self._pool = PooledAdmission(self.servers[0])
         else:
-            self.thinner = self._build_thinner()
+            per_shard_capacity = self.config.server_capacity_rps / shards
+            for shard in range(shards):
+                self.servers.append(self._build_server(shard, per_shard_capacity))
+        self.server = self.servers[0]
+
+        #: One independent thinner per shard; ``thinner`` stays shard 0.
+        self.thinners: List[ThinnerBase] = []
+        if thinner_factory is not None:
+            self.thinners.append(thinner_factory(self))
+        else:
+            for shard in range(shards):
+                if pooled:
+                    shard_server = self._pool.view()
+                else:
+                    shard_server = self.servers[shard if shards > 1 else 0]
+                self.thinners.append(
+                    self._build_thinner(shard, hosts[shard], shard_server)
+                )
+        self.thinner = self.thinners[0]
+
+        dispatch_rng = (
+            self.streams.stream("shard-dispatch")
+            if shards > 1 and self.config.shard_policy == "random"
+            else None
+        )
+        self._router = ShardRouter(shards, self.config.shard_policy, rng=dispatch_rng)
 
         self.clients: List = []
         self.duration: Optional[float] = None
 
     # -- construction helpers -----------------------------------------------------
 
-    def _build_thinner(self) -> ThinnerBase:
+    def _build_server(self, shard: int, capacity_rps: float) -> EmulatedServer:
+        # Shard 0 keeps the historical "server" stream name so a one-shard
+        # fleet draws the exact service times of a single-thinner run.
+        name = "server" if shard == 0 else f"server:{shard}"
+        return EmulatedServer(
+            self.engine,
+            capacity_rps,
+            rng=self.streams.stream(name),
+            jitter=self.config.service_jitter,
+        )
+
+    def _build_thinner(self, shard: int, host: Host, server) -> ThinnerBase:
+        suffix = "" if shard == 0 else f":{shard}"
         common = dict(
             engine=self.engine,
             network=self.network,
-            server=self.server,
-            host=self.thinner_host,
+            server=server,
+            host=host,
             encouragement_delay=self.config.encouragement_delay,
             payment_timeout=self.config.payment_timeout,
             max_contenders=self.config.max_contenders,
@@ -144,7 +252,9 @@ class Deployment:
         if self.config.defense == "speakup":
             return VirtualAuctionThinner(**common)
         if self.config.defense == "retry":
-            return RandomDropThinner(rng=self.streams.stream("retry-lottery"), **common)
+            return RandomDropThinner(
+                rng=self.streams.stream(f"retry-lottery{suffix}"), **common
+            )
         if self.config.defense == "quantum":
             return QuantumAuctionThinner(
                 quantum_seconds=self.config.quantum_seconds,
@@ -153,7 +263,7 @@ class Deployment:
             )
         if self.config.defense == "none":
             return NoDefenseThinner(
-                rng=self.streams.stream("admission"),
+                rng=self.streams.stream(f"admission{suffix}"),
                 policy=self.config.admission_policy,
                 **common,
             )
@@ -165,12 +275,25 @@ class Deployment:
         """Called by client constructors so the deployment can enumerate them."""
         self.clients.append(client)
 
-    def payment_channel(self, client_host: Host, request: Request) -> PaymentChannel:
-        """Build the payment channel a client opens when encouraged."""
+    def assign_shard(self, client_host: Host) -> int:
+        """The shard index serving ``client_host`` (stable for the whole run)."""
+        return self._router.assign(client_host.name)
+
+    def payment_channel(
+        self,
+        client_host: Host,
+        request: Request,
+        thinner_host: Optional[Host] = None,
+    ) -> PaymentChannel:
+        """Build the payment channel a client opens when encouraged.
+
+        ``thinner_host`` is the client's assigned shard; it defaults to
+        shard 0 (the only shard of a single-thinner deployment).
+        """
         return PaymentChannel(
             network=self.network,
             client_host=client_host,
-            thinner_host=self.thinner_host,
+            thinner_host=thinner_host if thinner_host is not None else self.thinner_host,
             request_id=request.request_id,
             post_bytes=self.config.post_bytes,
             slow_start=self.slow_start,
@@ -203,9 +326,10 @@ class Deployment:
             if pause_gc:
                 gc.enable()
         self.duration = duration if self.duration is None else self.duration + duration
-        shutdown = getattr(self.thinner, "shutdown", None)
-        if callable(shutdown):
-            shutdown()
+        for thinner in self.thinners:
+            shutdown = getattr(thinner, "shutdown", None)
+            if callable(shutdown):
+                shutdown()
         return self
 
     def results(self):
@@ -221,6 +345,16 @@ class Deployment:
     def clients_of_class(self, client_class: str) -> List:
         """All registered clients of one class ("good" or "bad")."""
         return [client for client in self.clients if client.client_class == client_class]
+
+    def clients_of_shard(self, shard: int) -> List:
+        """All registered clients assigned to thinner shard ``shard``.
+
+        Clients that never went through :meth:`assign_shard` (hand-built
+        test doubles) count as shard 0.
+        """
+        return [
+            client for client in self.clients if getattr(client, "shard", 0) == shard
+        ]
 
     @property
     def good_clients(self) -> List:

@@ -36,6 +36,19 @@ class PriceBook:
             raise ValueError(f"price cannot be negative, got {price_bytes}")
         self._samples.append(PriceSample(time, price_bytes, client_class, request_id))
 
+    @classmethod
+    def merged(cls, books: "List[PriceBook]") -> "PriceBook":
+        """One book holding every sample of ``books``, in time order.
+
+        Used to aggregate a thinner fleet's per-shard books so every query
+        (averages, percentiles, revenue) keeps one implementation.
+        """
+        book = cls()
+        for source in books:
+            book._samples.extend(source._samples)
+        book._samples.sort(key=lambda sample: sample.time)
+        return book
+
     # -- queries -----------------------------------------------------------------
 
     @property

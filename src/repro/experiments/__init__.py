@@ -41,8 +41,16 @@ from repro.experiments.cross_traffic import (
     format_cross_traffic,
 )
 from repro.experiments.capacity import SinkRateResult, thinner_sink_capacity
+from repro.experiments.fleet import (
+    FleetProvisioningRow,
+    fleet_provisioning_curve,
+    format_fleet,
+)
 
 __all__ = [
+    "FleetProvisioningRow",
+    "fleet_provisioning_curve",
+    "format_fleet",
     "ExperimentScale",
     "LanScenario",
     "run_lan_scenario",

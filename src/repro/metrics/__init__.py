@@ -1,6 +1,6 @@
 """Metrics: per-run collection, statistical summaries, and text tables."""
 
-from repro.metrics.collector import ClassMetrics, RunResult, collect
+from repro.metrics.collector import ClassMetrics, RunResult, ShardMetrics, collect
 from repro.metrics.summary import (
     confidence_interval,
     mean,
@@ -13,6 +13,7 @@ from repro.metrics.tables import format_row, format_table
 __all__ = [
     "ClassMetrics",
     "RunResult",
+    "ShardMetrics",
     "collect",
     "mean",
     "percentile",

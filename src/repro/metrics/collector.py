@@ -85,6 +85,86 @@ class ClassMetrics:
 
 
 @dataclass
+class ShardMetrics:
+    """Per-front-end breakdown of a thinner-fleet run (§4.3 scale-out).
+
+    One entry per thinner shard: how many clients the dispatch policy pinned
+    to it, the admission work its thinner did, and the payment traffic it had
+    to sink — the quantity §4.3's provisioning estimates size each front-end
+    for.  Single-thinner runs carry exactly one entry.
+    """
+
+    shard: int
+    thinner_host: str = ""
+    clients: int = 0
+    good_clients: int = 0
+    bad_clients: int = 0
+    aggregate_bandwidth_bps: float = 0.0
+    requests_received: int = 0
+    requests_admitted: int = 0
+    requests_served: int = 0
+    requests_dropped: int = 0
+    free_admissions: int = 0
+    auctions_held: int = 0
+    payment_bytes_sunk: float = 0.0
+    #: Payment bytes the shard's clients delivered (closed + still-open
+    #: channels) — the empirical per-shard inflow the provisioning curve
+    #: compares against ``(G + B) / shards``.
+    client_bytes_paid: float = 0.0
+    served_by_class: Dict[str, int] = field(default_factory=dict)
+    received_by_class: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dictionary that :meth:`from_dict` can rebuild."""
+        return {
+            "shard": self.shard,
+            "thinner_host": self.thinner_host,
+            "clients": self.clients,
+            "good_clients": self.good_clients,
+            "bad_clients": self.bad_clients,
+            "aggregate_bandwidth_bps": self.aggregate_bandwidth_bps,
+            "requests_received": self.requests_received,
+            "requests_admitted": self.requests_admitted,
+            "requests_served": self.requests_served,
+            "requests_dropped": self.requests_dropped,
+            "free_admissions": self.free_admissions,
+            "auctions_held": self.auctions_held,
+            "payment_bytes_sunk": self.payment_bytes_sunk,
+            "client_bytes_paid": self.client_bytes_paid,
+            "served_by_class": dict(self.served_by_class),
+            "received_by_class": dict(self.received_by_class),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardMetrics":
+        """Rebuild shard metrics serialised by :meth:`to_dict`."""
+        return cls(
+            shard=int(data["shard"]),
+            thinner_host=data.get("thinner_host", ""),
+            clients=int(data.get("clients", 0)),
+            good_clients=int(data.get("good_clients", 0)),
+            bad_clients=int(data.get("bad_clients", 0)),
+            aggregate_bandwidth_bps=float(data.get("aggregate_bandwidth_bps", 0.0)),
+            requests_received=int(data.get("requests_received", 0)),
+            requests_admitted=int(data.get("requests_admitted", 0)),
+            requests_served=int(data.get("requests_served", 0)),
+            requests_dropped=int(data.get("requests_dropped", 0)),
+            free_admissions=int(data.get("free_admissions", 0)),
+            auctions_held=int(data.get("auctions_held", 0)),
+            payment_bytes_sunk=float(data.get("payment_bytes_sunk", 0.0)),
+            client_bytes_paid=float(data.get("client_bytes_paid", 0.0)),
+            served_by_class={
+                key: int(value)
+                for key, value in data.get("served_by_class", {}).items()
+            },
+            received_by_class={
+                key: int(value)
+                for key, value in data.get("received_by_class", {}).items()
+            },
+        )
+
+
+@dataclass
 class RunResult:
     """Everything the experiments and benchmarks need from one run."""
 
@@ -107,6 +187,8 @@ class RunResult:
     payment_bytes_sunk: float = 0.0
     good_bandwidth_bps: float = 0.0
     bad_bandwidth_bps: float = 0.0
+    #: Per-thinner-shard breakdown; a single entry outside fleet runs.
+    shards: List[ShardMetrics] = field(default_factory=list)
 
     # -- the headline numbers ----------------------------------------------------
 
@@ -185,6 +267,7 @@ class RunResult:
             "payment_bytes_sunk": self.payment_bytes_sunk,
             "good_bandwidth_bps": self.good_bandwidth_bps,
             "bad_bandwidth_bps": self.bad_bandwidth_bps,
+            "shards": [shard.to_dict() for shard in self.shards],
         }
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -217,6 +300,9 @@ class RunResult:
             payment_bytes_sunk=float(data.get("payment_bytes_sunk", 0.0)),
             good_bandwidth_bps=float(data.get("good_bandwidth_bps", 0.0)),
             bad_bandwidth_bps=float(data.get("bad_bandwidth_bps", 0.0)),
+            shards=[
+                ShardMetrics.from_dict(entry) for entry in data.get("shards", [])
+            ],
         )
 
     @classmethod
@@ -248,12 +334,107 @@ def _collect_class(deployment, client_class: str) -> ClassMetrics:
     return metrics
 
 
+def _merge_counts(targets: List[Dict], *sources) -> None:
+    """Sum per-key dictionaries from ``sources`` into parallel ``targets``."""
+    for target, source in zip(targets, sources):
+        for key, value in source.items():
+            target[key] = target.get(key, 0) + value
+
+
+class _MergedServerStats:
+    """The union of several shards' server stats (partitioned fleets).
+
+    Presents the subset of :class:`~repro.httpd.server.ServerStats` the
+    collector reads.  A single-server deployment never goes through this
+    class (the one real stats object is used directly, keeping the floats
+    byte-identical to the historical single-thinner path).
+    """
+
+    def __init__(self, stats_list) -> None:
+        self.served = sum(stats.served for stats in stats_list)
+        self.busy_time = sum(stats.busy_time for stats in stats_list)
+        self.served_by_class: Dict[str, int] = {}
+        self.busy_time_by_class: Dict[str, float] = {}
+        self.served_by_category: Dict[str, int] = {}
+        self.busy_time_by_category: Dict[str, float] = {}
+        for stats in stats_list:
+            _merge_counts(
+                [
+                    self.served_by_class,
+                    self.busy_time_by_class,
+                    self.served_by_category,
+                    self.busy_time_by_category,
+                ],
+                stats.served_by_class,
+                stats.busy_time_by_class,
+                stats.served_by_category,
+                stats.busy_time_by_category,
+            )
+
+    def allocation_by_class(self) -> Dict[str, float]:
+        total = sum(self.served_by_class.values())
+        if total == 0:
+            return {}
+        return {cls: count / total for cls, count in self.served_by_class.items()}
+
+    def allocation_by_category(self) -> Dict[str, float]:
+        total = sum(self.served_by_category.values())
+        if total == 0:
+            return {}
+        return {cat: count / total for cat, count in self.served_by_category.items()}
+
+
+def _mean_price_by_class(thinners) -> Dict[str, float]:
+    """Mean winning bid per class across every shard's price book."""
+    if len(thinners) == 1:
+        return thinners[0].prices.average_by_class()
+    from repro.core.pricing import PriceBook
+
+    return PriceBook.merged([t.prices for t in thinners]).average_by_class()
+
+
+def _collect_shards(deployment) -> List[ShardMetrics]:
+    """One :class:`ShardMetrics` per thinner front-end."""
+    shards: List[ShardMetrics] = []
+    for index, thinner in enumerate(deployment.thinners):
+        stats = thinner.stats
+        metrics = ShardMetrics(
+            shard=index,
+            thinner_host=deployment.thinner_hosts[index].name,
+            requests_received=stats.requests_received,
+            requests_admitted=stats.requests_admitted,
+            requests_served=stats.requests_served,
+            requests_dropped=stats.requests_dropped,
+            free_admissions=stats.free_admissions,
+            auctions_held=stats.auctions_held,
+            payment_bytes_sunk=stats.payment_bytes_sunk,
+            served_by_class=dict(stats.served_by_class),
+            received_by_class=dict(stats.received_by_class),
+        )
+        shards.append(metrics)
+    # One pass over the clients (not one scan per shard) to attribute them.
+    for client in deployment.clients:
+        metrics = shards[getattr(client, "shard", 0)]
+        metrics.clients += 1
+        if client.client_class == "good":
+            metrics.good_clients += 1
+        elif client.client_class == "bad":
+            metrics.bad_clients += 1
+        metrics.aggregate_bandwidth_bps += client.upload_bandwidth_bps
+        metrics.client_bytes_paid += client.total_bytes_spent()
+    return shards
+
+
 def collect(deployment) -> RunResult:
     """Build a :class:`RunResult` from a deployment that has finished running."""
     good = _collect_class(deployment, "good")
     bad = _collect_class(deployment, "bad")
-    server_stats = deployment.server.stats
-    thinner = deployment.thinner
+    servers = deployment.servers
+    if len(servers) == 1:
+        server_stats = servers[0].stats
+    else:
+        server_stats = _MergedServerStats([server.stats for server in servers])
+    thinners = deployment.thinners
 
     good_bw = deployment.aggregate_bandwidth_bps("good")
     bad_bw = deployment.aggregate_bandwidth_bps("bad")
@@ -301,11 +482,14 @@ def collect(deployment) -> RunResult:
         allocation_by_category=allocation_by_category,
         served_by_category=served_by_category,
         served_fraction_by_category=served_fraction_by_category,
-        mean_price_by_class=thinner.prices.average_by_class(),
+        mean_price_by_class=_mean_price_by_class(thinners),
         price_upper_bound_bytes=upper_bound,
-        auctions_held=thinner.stats.auctions_held,
-        free_admissions=thinner.stats.free_admissions,
-        payment_bytes_sunk=thinner.stats.payment_bytes_sunk,
+        auctions_held=sum(thinner.stats.auctions_held for thinner in thinners),
+        free_admissions=sum(thinner.stats.free_admissions for thinner in thinners),
+        payment_bytes_sunk=sum(
+            thinner.stats.payment_bytes_sunk for thinner in thinners
+        ),
         good_bandwidth_bps=good_bw,
         bad_bandwidth_bps=bad_bw,
+        shards=_collect_shards(deployment),
     )

@@ -1,10 +1,12 @@
 """The pinned performance benchmark behind ``speakup-repro bench``.
 
-The harness runs a fixed set of registry scenarios at four scales —
+The harness runs a fixed set of registry scenarios at five scales —
 ``lan-small`` (the paper's own scale), ``tiers-medium`` (hundreds of
 heterogeneous clients), ``stress-mega`` (thousands of clients, bound on the
-fluid allocator), and ``thinner-mega`` (≥50k clients, bound on the
-admission/auction path) — and measures engine throughput (events/second)
+fluid allocator), ``thinner-mega`` (≥50k clients, bound on the
+admission/auction path), and ``fleet-mega`` (≥17k clients spread over an
+8-shard thinner fleet, §4.3 scale-out) — and measures engine throughput
+(events/second)
 plus the network's hot-path counters
 (:class:`repro.perf.counters.SimCounters`).
 
@@ -91,6 +93,18 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
             bad_clients=60,
             capacity_rps=300.0,
             duration=1.5,
+        ),
+    ),
+    BenchCase(
+        name="fleet-mega",
+        scenario="fleet-mega",
+        args=dict(),
+        quick_args=dict(
+            good_clients=1200,
+            bad_clients=120,
+            thinner_shards=4,
+            capacity_rps=400.0,
+            duration=1.0,
         ),
     ),
 )

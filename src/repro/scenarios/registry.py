@@ -9,9 +9,10 @@ callers (tests, benchmarks) shrink them via the factory arguments.
 Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``rtt-tiers`` (Figure 7), ``shared-bottleneck`` (Figure 8), ``cross-traffic``
 (Figure 9).  New workloads: ``flash-crowd``, ``pulsed-attack``,
-``diurnal-demand``, ``uplink-tiers``, and the perf-harness workloads
-``stress-mega`` (allocator-bound) and ``thinner-mega`` (auction-bound,
-≥50k clients).
+``diurnal-demand``, ``uplink-tiers``, the sharded-fleet scenarios
+``fleet-lan`` and ``fleet-mega`` (§4.3 scale-out), and the perf-harness
+workloads ``stress-mega`` (allocator-bound) and ``thinner-mega``
+(auction-bound, ≥50k clients).
 """
 
 from __future__ import annotations
@@ -136,6 +137,11 @@ def scenario_markdown() -> str:
             topo_bits.append(
                 f"shared cable {_format_bandwidth(topology.bottleneck_bandwidth_bps)}"
                 f" / {topology.bottleneck_delay_s * 1e3:g} ms"
+            )
+        if spec.thinner_shards > 1:
+            topo_bits.append(
+                f"thinner fleet of {spec.thinner_shards} shards "
+                f"(`{spec.shard_policy}` dispatch, `{spec.admission_mode}` admission)"
             )
         lines.append(f"**Topology:** {', '.join(topo_bits)}.")
         lines.append("")
@@ -550,6 +556,129 @@ def uplink_tiers(
         defense=defense,
         duration=duration,
         seed=seed,
+    )
+
+
+@register("fleet-lan")
+def fleet_lan(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    thinner_shards: int = 4,
+    shard_policy: str = "hash",
+    admission_mode: str = "partitioned",
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    fleet_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    bad_window: Optional[int] = None,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The §7.2 workload in front of a sharded thinner fleet (§4.3).
+
+    The lan-baseline population, but the single thinner is replaced by
+    ``thinner_shards`` independent front-ends, each on its own access link
+    carrying an even split of ``fleet_bandwidth_bps``.  ``shard_policy``
+    picks how clients are pinned to shards and ``admission_mode`` how the
+    shards share the server's slots — the two knobs §4.3's scale-out sketch
+    leaves open.
+    """
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="fleet-lan",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=fleet_bandwidth_bps),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+        thinner_shards=thinner_shards,
+        shard_policy=shard_policy,
+        admission_mode=admission_mode,
+    )
+
+
+@register("fleet-mega")
+def fleet_mega(
+    good_clients: int = 16000,
+    bad_clients: int = 1600,
+    thinner_shards: int = 8,
+    shard_policy: str = "hash",
+    admission_mode: str = "partitioned",
+    capacity_rps: float = 6000.0,
+    defense: str = "speakup",
+    good_rate: float = 1.0,
+    bad_rate: float = 40.0,
+    bad_window: int = 20,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    provisioning_headroom: float = 1.25,
+    duration: float = 0.5,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Perf-harness fleet workload: ≥17k clients spread over 8 front-ends.
+
+    Not a paper figure — the ``repro.cli bench`` *fleet* mega scale,
+    complementing ``thinner-mega`` (one thinner absorbing everything).  The
+    same over-demanded auction-bound regime, but the population is hashed
+    across ``thinner_shards`` independent thinners whose per-shard access
+    links split an aggregate provisioned at ``provisioning_headroom`` times
+    the total client bandwidth (condition C1 of §4.3).  Each shard runs its
+    own kinetic bid index over ~1/N of the contenders, so the case
+    benchmarks how admission cost and payment-sink load divide across a
+    scale-out fleet.
+    """
+    total = good_clients + bad_clients
+    fleet_bandwidth = max(
+        DEFAULT_THINNER_BANDWIDTH, total * client_bandwidth_bps * provisioning_headroom
+    )
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=good_rate,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=bad_rate,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="fleet-mega",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=fleet_bandwidth),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+        thinner_shards=thinner_shards,
+        shard_policy=shard_policy,
+        admission_mode=admission_mode,
     )
 
 

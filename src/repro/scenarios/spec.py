@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.constants import DEFAULT_CLIENT_BANDWIDTH
 from repro.errors import ExperimentError
 from repro.clients.population import PopulationSpec, build_population
+from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES
 from repro.core.frontend import DEFENSES, Deployment, DeploymentConfig
 from repro.metrics.collector import RunResult
 from repro.simnet.topology import (
@@ -29,6 +30,7 @@ from repro.simnet.topology import (
     DEFAULT_THINNER_BANDWIDTH,
     build_bottleneck,
     build_dumbbell,
+    build_fleet,
     build_lan,
 )
 
@@ -249,6 +251,14 @@ class ScenarioSpec:
     duration: float = 60.0
     seed: int = 0
     encouragement_delay: float = 0.0
+    #: Thinner front-end shards (§4.3 scale-out); above 1 a ``lan`` topology
+    #: becomes a :func:`~repro.simnet.topology.build_fleet` star-of-stars
+    #: with ``topology.thinner_bandwidth_bps`` split evenly across shards.
+    thinner_shards: int = 1
+    #: Client→shard dispatch: "hash", "least-loaded", or "random".
+    shard_policy: str = "hash"
+    #: Server-slot sharing across shards: "partitioned" or "pooled".
+    admission_mode: str = "partitioned"
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
 
     # -- validation -------------------------------------------------------------
@@ -267,6 +277,22 @@ class ScenarioSpec:
             )
         if self.encouragement_delay < 0:
             raise ExperimentError("encouragement_delay must be non-negative")
+        if self.thinner_shards < 1:
+            raise ExperimentError("thinner_shards must be at least 1")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ExperimentError(
+                f"unknown shard_policy {self.shard_policy!r}; "
+                f"expected one of {SHARD_POLICIES}"
+            )
+        if self.admission_mode not in ADMISSION_MODES:
+            raise ExperimentError(
+                f"unknown admission_mode {self.admission_mode!r}; "
+                f"expected one of {ADMISSION_MODES}"
+            )
+        if self.thinner_shards > 1 and self.topology.kind != "lan":
+            raise ExperimentError(
+                "thinner fleets (thinner_shards > 1) need a 'lan' topology"
+            )
         if self.total_clients() == 0 and self.topology.kind != "dumbbell":
             raise ExperimentError("scenario needs at least one client")
         if self.topology.kind != "lan" and any(g.extra_delay_s for g in self.groups):
@@ -322,6 +348,9 @@ class ScenarioSpec:
             defense=self.defense,
             seed=self.seed,
             encouragement_delay=self.encouragement_delay,
+            thinner_shards=self.thinner_shards,
+            shard_policy=self.shard_policy,
+            admission_mode=self.admission_mode,
             **dict(self.config_overrides),
         )
 
@@ -337,13 +366,23 @@ class ScenarioSpec:
             for group in ordered:
                 bandwidths.extend([group.bandwidth_bps] * group.count)
                 delays.extend([group.extra_delay_s] * group.count)
-            topology, hosts, thinner_host = build_lan(
-                bandwidths,
-                client_delays_s=delays if any(delays) else None,
-                thinner_bandwidth_bps=self.topology.thinner_bandwidth_bps,
-                lan_delay_s=self.topology.lan_delay_s,
-                name=self.name,
-            )
+            if self.thinner_shards > 1:
+                topology, hosts, thinner_host = build_fleet(
+                    bandwidths,
+                    thinner_shards=self.thinner_shards,
+                    client_delays_s=delays if any(delays) else None,
+                    fleet_bandwidth_bps=self.topology.thinner_bandwidth_bps,
+                    lan_delay_s=self.topology.lan_delay_s,
+                    name=self.name,
+                )
+            else:
+                topology, hosts, thinner_host = build_lan(
+                    bandwidths,
+                    client_delays_s=delays if any(delays) else None,
+                    thinner_bandwidth_bps=self.topology.thinner_bandwidth_bps,
+                    lan_delay_s=self.topology.lan_delay_s,
+                    name=self.name,
+                )
         elif self.topology.kind == "bottleneck":
             behind = tuple(g for g in self.groups if g.behind_bottleneck)
             direct = tuple(g for g in self.groups if not g.behind_bottleneck)
@@ -398,6 +437,9 @@ class ScenarioSpec:
             "duration": self.duration,
             "seed": self.seed,
             "encouragement_delay": self.encouragement_delay,
+            "thinner_shards": self.thinner_shards,
+            "shard_policy": self.shard_policy,
+            "admission_mode": self.admission_mode,
             "config_overrides": {key: value for key, value in self.config_overrides},
         }
 

@@ -240,6 +240,69 @@ def build_dumbbell(
     return topology, clients, victim, thinner, web_server, shared
 
 
+def build_fleet(
+    client_bandwidths_bps: Sequence[float],
+    thinner_shards: int,
+    client_delays_s: Optional[Sequence[float]] = None,
+    fleet_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    shard_bandwidth_bps: Optional[float] = None,
+    lan_delay_s: float = DEFAULT_LAN_DELAY,
+    name: str = "fleet",
+) -> Tuple[Topology, List[Host], List[Host]]:
+    """The §4.3 scale-out topology: N thinner front-ends on one core.
+
+    A star of stars: every client and every shard hangs off the core switch,
+    and each shard has its *own* access link — the per-shard provisioning
+    the paper's scale-out sketch requires.  By default the fleet splits
+    ``fleet_bandwidth_bps`` evenly (each shard gets ``fleet / shards``), so
+    adding shards models adding identically-provisioned front-end boxes
+    whose aggregate absorbs the attack; pass ``shard_bandwidth_bps`` to
+    size each shard's link explicitly instead.
+
+    Shard hosts are named ``thinner-00``, ``thinner-01``, ...  Returns
+    ``(topology, client_hosts, thinner_hosts)``.  With ``thinner_shards=1``
+    this is :func:`build_lan` with a one-element fleet (the host keeps the
+    numbered name, so single-thinner deployments use :func:`build_lan`).
+    """
+    if thinner_shards < 1:
+        raise TopologyError(f"thinner_shards must be at least 1, got {thinner_shards}")
+    count = len(client_bandwidths_bps)
+    if count == 0:
+        raise TopologyError("need at least one client")
+    if client_delays_s is not None and len(client_delays_s) != count:
+        raise TopologyError("client_delays_s must match client_bandwidths_bps in length")
+    per_shard = (
+        shard_bandwidth_bps
+        if shard_bandwidth_bps is not None
+        else fleet_bandwidth_bps / thinner_shards
+    )
+    if per_shard <= 0:
+        raise TopologyError("per-shard bandwidth must be positive")
+
+    topology = Topology(name)
+    thinners: List[Host] = []
+    for index in range(thinner_shards):
+        shard = make_host(
+            f"thinner-{index:02d}", per_shard, delay_s=lan_delay_s, kind="thinner"
+        )
+        topology.add_host(shard)
+        thinners.append(shard)
+
+    clients: List[Host] = []
+    for index, bandwidth in enumerate(client_bandwidths_bps):
+        extra = client_delays_s[index] if client_delays_s is not None else 0.0
+        client = make_host(
+            f"client-{index:03d}",
+            upload_bps=bandwidth,
+            delay_s=lan_delay_s,
+            kind="client",
+            extra_delay_s=extra,
+        )
+        topology.add_host(client)
+        clients.append(client)
+    return topology, clients, thinners
+
+
 def uniform_bandwidths(count: int, bandwidth_bps: float) -> List[float]:
     """A list of ``count`` identical access bandwidths (the common case)."""
     if count < 0:

@@ -9,7 +9,7 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("demo", "figure2", "figure3", "costs", "figure6", "figure7",
                     "figure8", "figure9", "advantage", "windows", "capacity",
-                    "scenarios", "sweep", "bench"):
+                    "scenarios", "sweep", "bench", "fleet"):
         args = parser.parse_args(
             [command] if command in ("demo", "capacity", "scenarios", "sweep", "bench")
             else [command, "--duration", "5"])
@@ -154,3 +154,43 @@ def test_sweep_rejects_unknown_scenario_and_bad_grid(capsys):
     assert "--grid" in capsys.readouterr().err
     assert main(["sweep", "--seeds", "1,x"]) == 2
     assert "--seeds" in capsys.readouterr().err
+
+
+def test_fleet_command_prints_provisioning_curve(capsys):
+    exit_code = main(["fleet", "--duration", "6", "--client-scale", "0.12",
+                      "--shards", "1,2"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Section 4.3" in output
+    assert "predicted/shard" in output
+
+
+def _assert_clean_one_line_error(capsys, argv, needle):
+    """Unknown names exit 2 with a single clean line listing valid choices."""
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    assert err.count("\n") == 1
+    assert needle in err
+    assert "expected one of" in err or "known scenarios" in err
+
+
+def test_unknown_names_report_choices_consistently(capsys):
+    # The same error shape — one line, valid choices listed — regardless of
+    # which subcommand or option carried the unknown name.
+    _assert_clean_one_line_error(
+        capsys, ["demo", "--defense", "bogus"], "'bogus'")
+    _assert_clean_one_line_error(
+        capsys, ["sweep", "--scenario", "bogus"], "unknown scenario")
+    _assert_clean_one_line_error(
+        capsys, ["sweep", "--set", "defense=bogus"], "'bogus'")
+    _assert_clean_one_line_error(
+        capsys,
+        ["fleet", "--duration", "2", "--client-scale", "0.1", "--policy", "bogus"],
+        "shard_policy")
+    _assert_clean_one_line_error(
+        capsys,
+        ["fleet", "--duration", "2", "--client-scale", "0.1", "--admission", "bogus"],
+        "admission_mode")
+    assert main(["fleet", "--shards", "1,x"]) == 2
+    assert "--shards" in capsys.readouterr().err

@@ -1,18 +1,35 @@
-"""The generated documentation stays in sync with the code.
+"""The documentation stays in sync with the code.
 
 ``docs/SCENARIOS.md`` is rendered from the scenario registry by
 ``speakup-repro scenarios --doc``; if a scenario is added or a knob changes,
 the checked-in file must be regenerated.  These tests fail with the exact
 regeneration command when it is stale.
+
+``docs/TUTORIAL.md`` promises that every command it shows runs; the smoke
+tests here extract each CLI invocation from its ``sh`` code blocks and
+execute it in-process.  A markdown link check over ``docs/`` and the README
+keeps relative links from rotting.
 """
 
 import os
+import re
 
+import pytest
+
+from repro.cli import main
 from repro.scenarios.registry import scenario_markdown, scenario_names
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 SCENARIOS_MD = os.path.join(REPO_ROOT, "docs", "SCENARIOS.md")
 ARCHITECTURE_MD = os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md")
+TUTORIAL_MD = os.path.join(REPO_ROOT, "docs", "TUTORIAL.md")
+PAPER_MAP_MD = os.path.join(REPO_ROOT, "docs", "PAPER_MAP.md")
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
 
 
 def test_scenario_gallery_is_up_to_date():
@@ -45,3 +62,110 @@ def test_architecture_doc_mentions_every_subpackage():
         assert f"{subpackage}/" in architecture or f"`{subpackage}" in architecture, (
             f"docs/ARCHITECTURE.md does not mention subpackage {subpackage!r}"
         )
+
+
+# ---------------------------------------------------------------------------
+# The tutorial's commands all run
+# ---------------------------------------------------------------------------
+
+
+def _sh_blocks(markdown: str):
+    """The contents of every ``` sh``` fenced block, in order."""
+    return re.findall(r"```sh\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+def _cli_invocations(markdown: str):
+    """Every `python -m repro.cli ...` / `speakup-repro ...` command in
+    the document's ``sh`` blocks, as argv lists (continuations joined)."""
+    commands = []
+    for block in _sh_blocks(markdown):
+        joined = block.replace("\\\n", " ")
+        for line in joined.splitlines():
+            line = line.strip()
+            if line.startswith("python -m repro.cli "):
+                commands.append(line[len("python -m repro.cli "):].split())
+            elif line.startswith("speakup-repro "):
+                commands.append(line[len("speakup-repro "):].split())
+    return commands
+
+TUTORIAL_COMMANDS = _cli_invocations(_read(TUTORIAL_MD))
+
+
+def test_tutorial_contains_the_promised_walkthrough():
+    tutorial = _read(TUTORIAL_MD)
+    # install → first scenario → sweep → a paper figure → the fleet.
+    for needle in ("Install", "demo", "scenarios", "sweep", "figure2", "fleet"):
+        assert needle in tutorial
+    assert len(TUTORIAL_COMMANDS) >= 5
+
+
+@pytest.mark.parametrize(
+    "argv", TUTORIAL_COMMANDS, ids=[" ".join(c[:2]) for c in TUTORIAL_COMMANDS]
+)
+def test_tutorial_command_runs(argv, capsys):
+    """Every CLI command shown in the tutorial exits 0."""
+    assert main(argv) == 0
+    assert capsys.readouterr().out  # every tutorial command prints something
+
+
+# ---------------------------------------------------------------------------
+# The paper map covers the reproduction
+# ---------------------------------------------------------------------------
+
+
+def test_paper_map_mentions_every_experiment_module():
+    paper_map = _read(PAPER_MAP_MD)
+    experiments = os.path.join(REPO_ROOT, "src", "repro", "experiments")
+    modules = sorted(
+        entry[:-3]
+        for entry in os.listdir(experiments)
+        if entry.endswith(".py") and entry not in ("__init__.py", "base.py")
+    )
+    for module in modules:
+        assert f"{module}.py" in paper_map, (
+            f"docs/PAPER_MAP.md does not mention experiments/{module}.py"
+        )
+
+
+def test_paper_map_mentions_every_figure_and_key_sections():
+    paper_map = _read(PAPER_MAP_MD)
+    for figure in range(2, 10):
+        # Accept both "Figure 8" and grouped forms like "Figures 4, 5".
+        mentioned = re.search(rf"Figures?\s[\d, and]*\b{figure}\b", paper_map)
+        assert mentioned or f"figure{figure}" in paper_map, (
+            f"docs/PAPER_MAP.md does not mention Figure {figure}"
+        )
+    for section in ("§3.3", "§4.3", "§5", "§6", "§7.4", "Theorem 3.1"):
+        assert section in paper_map
+
+
+# ---------------------------------------------------------------------------
+# Markdown links resolve
+# ---------------------------------------------------------------------------
+
+
+def _markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    for entry in sorted(os.listdir(DOCS_DIR)):
+        if entry.endswith(".md"):
+            files.append(os.path.join(DOCS_DIR, entry))
+    return files
+
+
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_markdown_links_resolve():
+    """Every relative markdown link in docs/ and the README points at a file."""
+    problems = []
+    for path in _markdown_files():
+        base = os.path.dirname(path)
+        for target in _LINK_PATTERN.findall(_read(path)):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(target_path):
+                problems.append(f"{os.path.relpath(path, REPO_ROOT)} -> {target}")
+    assert not problems, "broken relative links:\n" + "\n".join(problems)

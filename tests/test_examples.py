@@ -40,3 +40,37 @@ def test_quickstart_example_runs_end_to_end(capsys):
     output = capsys.readouterr().out
     assert "speakup" in output
     assert "none" in output
+
+
+#: Per-example test-scale overrides: every example must run end to end in
+#: CI, so each gets its module-level knobs shrunk to a few clients and a
+#: few simulated seconds (shared_bottleneck keeps 12 behind-cable hosts —
+#: its main() sweeps good/bad splits of that fixed neighbourhood).
+EXAMPLE_TEST_SCALE = {
+    "quickstart": dict(GOOD_CLIENTS=3, BAD_CLIENTS=3, CAPACITY_RPS=12.0, DURATION=6.0),
+    "attacked_search_site": dict(
+        GOOD_CLIENTS=4, BAD_CLIENTS=4, CAPACITY_RPS=12.0, DURATION=6.0
+    ),
+    "heterogeneous_requests": dict(
+        GOOD_CLIENTS=3, BAD_CLIENTS=3, CAPACITY_RPS=10.0, DURATION=6.0
+    ),
+    "shared_bottleneck_neighbourhood": dict(
+        DIRECT_GOOD=2, DIRECT_BAD=2, CAPACITY_RPS=12.0, DURATION=6.0
+    ),
+}
+
+
+def test_every_example_has_a_test_scale():
+    assert sorted(EXAMPLE_TEST_SCALE) == [path.stem for path in EXAMPLE_FILES]
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs_end_to_end_at_test_scale(path, capsys):
+    """Every example script's main() completes and prints its table."""
+    module = load_example(path)
+    for name, value in EXAMPLE_TEST_SCALE[path.stem].items():
+        assert hasattr(module, name), f"{path.name} lost its {name} knob"
+        setattr(module, name, value)
+    module.main()
+    output = capsys.readouterr().out
+    assert "---" in output  # every example prints at least one table

@@ -87,9 +87,12 @@ def test_bench_case_overrides_merge_quick():
 
 def test_pinned_suite_shape():
     names = [case.name for case in BENCH_CASES]
-    assert names == ["lan-small", "tiers-medium", "stress-mega", "thinner-mega"]
+    assert names == [
+        "lan-small", "tiers-medium", "stress-mega", "thinner-mega", "fleet-mega",
+    ]
     assert BENCH_CASES[2].scenario == "stress-mega"
     assert BENCH_CASES[3].scenario == "thinner-mega"
+    assert BENCH_CASES[4].scenario == "fleet-mega"
 
 
 def test_run_case_measures_and_fingerprints():

@@ -31,6 +31,11 @@ SMALL_SCENARIO_KWARGS = {
     ),
     "diurnal-demand": dict(good_clients=2, bad_clients=2, capacity_rps=10.0, duration=9.0),
     "uplink-tiers": dict(clients_per_tier=2, capacity_rps=10.0, duration=6.0),
+    "fleet-lan": dict(good_clients=3, bad_clients=3, thinner_shards=2,
+                      capacity_rps=10.0, duration=6.0),
+    "fleet-mega": dict(good_clients=4, bad_clients=2, thinner_shards=2,
+                       bad_rate=8.0, bad_window=3, capacity_rps=10.0,
+                       duration=6.0),
     "stress-mega": dict(good_clients=4, bad_clients=2, bad_window=2,
                         capacity_rps=10.0, duration=6.0),
     "thinner-mega": dict(good_clients=3, flash_clients=2, bad_clients=2,
