@@ -12,8 +12,10 @@ Examples::
     speakup-repro figure9
     speakup-repro advantage        # section 7.4
     speakup-repro capacity         # section 7.1 analogue
+    speakup-repro adaptive         # attack-triggered engagement sweep
     speakup-repro scenarios        # list the named scenarios
     speakup-repro scenarios --doc  # emit the docs/SCENARIOS.md gallery
+    speakup-repro defenses         # list the registered defenses + knobs
     speakup-repro sweep --scenario lan-baseline \\
         --set good_clients=10 --set bad_clients=10 --set capacity_rps=40 \\
         --grid defense=speakup,none --replicates 3 --jobs 4 --out results.json
@@ -81,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     # one-line ReproError path (listing the valid choices) as every other
     # subcommand, instead of argparse's usage dump.
     demo.add_argument("--defense", default="speakup",
-                      help="thinner variant: speakup, retry, quantum, or none")
+                      help="admission policy: speakup, retry, quantum, none, any "
+                           "registered defense (see 'speakup-repro defenses'), or "
+                           "a 'filter>admission' pipeline such as ratelimit>speakup")
     demo.add_argument("--seed", type=int, default=0)
 
     for name, help_text in [
@@ -119,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
 
+    adaptive = subparsers.add_parser(
+        "adaptive",
+        help="attack-triggered engagement: good-client service vs watcher cadence",
+        description=(
+            "Run the adaptive-pulse workload (steady good demand, one "
+            "full-rate attack pulse) under the adaptive defense at several "
+            "load-watcher cadences, plus always-on and undefended "
+            "baselines, and report engagement lag, engaged time, and the "
+            "good clients' fraction served."
+        ),
+    )
+    _add_scale_arguments(adaptive)
+    adaptive.add_argument("--intervals", default="0.5,1,2,4", metavar="S1,S2,...",
+                          help="comma-separated watcher check intervals (seconds)")
+
     scenarios = subparsers.add_parser(
         "scenarios", help="list the named scenarios in the registry"
     )
@@ -126,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--doc",
         action="store_true",
         help="emit the full markdown scenario gallery (docs/SCENARIOS.md)",
+    )
+
+    subparsers.add_parser(
+        "defenses",
+        help="list the registered defenses with their parameters",
+        description=(
+            "List every defense in the registry (the vocabulary of "
+            "--defense, ScenarioSpec.defense, and DefenseSpec.name) with "
+            "its one-line description and the factory parameters a "
+            "DefenseSpec can set."
+        ),
     )
 
     bench = subparsers.add_parser(
@@ -347,6 +377,42 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             rows=[(name, scenario_description(name)) for name in scenario_names()],
             title="Named scenarios (use with 'speakup-repro sweep --scenario NAME')",
         ))
+        return 0
+
+    if args.command == "defenses":
+        from repro.defenses import registry as defense_registry
+
+        def _format_parameters(name: str) -> str:
+            pairs = defense_registry.parameters(name)
+            if not pairs:
+                return "-"
+            return ", ".join(
+                f"{parameter}={default!r}" for parameter, default in pairs
+            )
+
+        print(format_table(
+            headers=["defense", "description", "parameters (DefenseSpec kwargs)"],
+            rows=[
+                (name, defense_registry.create(name).describe(), _format_parameters(name))
+                for name in defense_registry.names()
+            ],
+            title=(
+                "Registered defenses (use with --defense, ScenarioSpec.defense, "
+                "or DefenseSpec)"
+            ),
+        ))
+        return 0
+
+    if args.command == "adaptive":
+        from repro.experiments.adaptive import adaptive_engagement, format_adaptive
+
+        try:
+            intervals = tuple(float(value) for value in args.intervals.split(","))
+        except ValueError:
+            raise ReproError(
+                f"--intervals expects comma-separated seconds, got {args.intervals!r}"
+            )
+        print(format_adaptive(adaptive_engagement(_scale_from(args), intervals)))
         return 0
 
     if args.command == "sweep":

@@ -5,6 +5,18 @@ topology, the emulated server, and the thinner front-end(s), and it keeps
 track of the clients that register with it.  Experiments, examples and tests
 all talk to this object rather than wiring the parts by hand.
 
+Which admission policy fronts the server is data, not code:
+``DeploymentConfig.defense`` takes either a
+:class:`~repro.defenses.spec.DefenseSpec` (a registered defense name plus
+typed factory kwargs, arbitrarily composable — pipelines of screening
+stages, the adaptive engagement controller) or, as sugar, one of the
+historical strings (``"speakup"``, ``"retry"``, ``"quantum"``, ``"none"``,
+any registered defense name, or the ``"filter>admission"`` pipeline
+shorthand).  The deployment normalises the selector once, instantiates the
+:class:`~repro.defenses.base.Defense` through the registry, and asks it to
+:meth:`~repro.defenses.base.Defense.build_thinner` per shard — there is no
+defense-name dispatch here.
+
 A deployment normally runs **one** thinner (the paper's evaluation setup);
 setting ``DeploymentConfig.thinner_shards`` above 1 deploys a sharded
 *fleet* of independent thinner front-ends instead (the §4.3 scale-out
@@ -16,8 +28,8 @@ is byte-for-byte the historical single-thinner construction.
 from __future__ import annotations
 
 import gc
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 from repro.constants import (
     DEFAULT_POST_BYTES,
@@ -25,13 +37,9 @@ from repro.constants import (
     SERVICE_TIME_JITTER,
     SUSPEND_ABORT_TIMEOUT,
 )
-from repro.errors import ExperimentError
-from repro.core.admission import NoDefenseThinner
-from repro.core.auction import VirtualAuctionThinner
+from repro.errors import DefenseError, ExperimentError
 from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES, PooledAdmission, ShardRouter
 from repro.core.payment import PaymentChannel
-from repro.core.quantum import QuantumAuctionThinner
-from repro.core.retry import RandomDropThinner
 from repro.core.thinner import ThinnerBase
 from repro.httpd.messages import Request
 from repro.httpd.server import EmulatedServer
@@ -43,8 +51,26 @@ from repro.simnet.tcp import SlowStartRamp
 from repro.simnet.topology import Topology
 from repro.simnet.trace import Tracer
 
-#: Names of the built-in thinner variants.
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.defenses.base import Defense
+    from repro.defenses.spec import DefenseSpec
+
+#: Names of the built-in core thinner variants (the historical string
+#: vocabulary; any registered defense name is accepted too).
 DEFENSES = ("speakup", "retry", "quantum", "none")
+
+
+def _normalise(defense) -> "DefenseSpec":
+    """String/spec → :class:`DefenseSpec`, re-raised as a config error."""
+    # Imported lazily: the defenses layer sits above core/ and registers
+    # itself on import; pulling it in at call time keeps the module layering
+    # acyclic while letting the deployment resolve names through it.
+    from repro.defenses.spec import normalise_defense
+
+    try:
+        return normalise_defense(defense)
+    except DefenseError as error:
+        raise ExperimentError(str(error)) from None
 
 
 @dataclass
@@ -53,8 +79,11 @@ class DeploymentConfig:
 
     #: Server capacity ``c`` in requests per second.
     server_capacity_rps: float = 100.0
-    #: Which thinner variant to deploy: one of :data:`DEFENSES`.
-    defense: str = "speakup"
+    #: Which admission policy to deploy: a
+    #: :class:`~repro.defenses.spec.DefenseSpec`, or a string — one of the
+    #: historical :data:`DEFENSES`, any registered defense name, or the
+    #: ``"filter>admission"`` pipeline shorthand.
+    defense: Union[str, "DefenseSpec"] = "speakup"
     #: Admission policy of the undefended baseline ("random" or "fifo").
     admission_policy: str = "random"
     #: Size of one payment POST (the prototype uses 1 MByte, §6).
@@ -108,12 +137,26 @@ class DeploymentConfig:
     #: collector running, e.g. when embedding in a larger application.
     pause_gc_during_run: bool = True
 
+    def defense_spec(self) -> "DefenseSpec":
+        """The configured defense as a normalised :class:`DefenseSpec`."""
+        return _normalise(self.defense)
+
+    @property
+    def defense_label(self) -> str:
+        """The defense as recorded in results: strings verbatim, specs labelled."""
+        if isinstance(self.defense, str):
+            return self.defense
+        return _normalise(self.defense).label()
+
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ExperimentError` on nonsensical settings."""
         if self.server_capacity_rps <= 0:
             raise ExperimentError("server_capacity_rps must be positive")
-        if self.defense not in DEFENSES:
-            raise ExperimentError(f"unknown defense {self.defense!r}; expected one of {DEFENSES}")
+        spec = self.defense_spec()
+        try:
+            defense = spec.create()
+        except DefenseError as error:
+            raise ExperimentError(str(error)) from None
         if self.post_bytes <= 0:
             raise ExperimentError("post_bytes must be positive")
         if self.request_bytes <= 0:
@@ -135,12 +178,12 @@ class DeploymentConfig:
         if (
             self.thinner_shards > 1
             and self.admission_mode == "pooled"
-            and self.defense == "quantum"
+            and not defense.supports_pooled_admission()
         ):
             raise ExperimentError(
                 "the quantum thinner needs 'partitioned' admission "
                 "(pooled mode cannot suspend/resume a shared slot another "
-                "shard may hold)"
+                f"shard may hold); offending defense spec: {spec.to_dict()}"
             )
 
 
@@ -200,19 +243,30 @@ class Deployment:
                 self.servers.append(self._build_server(shard, per_shard_capacity))
         self.server = self.servers[0]
 
+        #: What each shard's thinner drives as "its" server: the one real
+        #: server, the shard's ``c / N`` partition, or its pooled view.
+        if pooled:
+            self._shard_servers: List = [self._pool.view() for _ in range(shards)]
+        elif shards == 1:
+            self._shard_servers = [self.servers[0]]
+        else:
+            self._shard_servers = list(self.servers)
+
+        #: The admission policy, instantiated from the normalised spec via
+        #: the defense registry (None when a custom ``thinner_factory`` is
+        #: in charge).
+        self.defense_spec: Optional["DefenseSpec"] = None
+        self.defense: Optional["Defense"] = None
+
         #: One independent thinner per shard; ``thinner`` stays shard 0.
         self.thinners: List[ThinnerBase] = []
         if thinner_factory is not None:
             self.thinners.append(thinner_factory(self))
         else:
+            self.defense_spec = self.config.defense_spec()
+            self.defense = self.defense_spec.create()
             for shard in range(shards):
-                if pooled:
-                    shard_server = self._pool.view()
-                else:
-                    shard_server = self.servers[shard if shards > 1 else 0]
-                self.thinners.append(
-                    self._build_thinner(shard, hosts[shard], shard_server)
-                )
+                self.thinners.append(self.defense.build_thinner(self, shard))
         self.thinner = self.thinners[0]
 
         dispatch_rng = (
@@ -238,36 +292,24 @@ class Deployment:
             jitter=self.config.service_jitter,
         )
 
-    def _build_thinner(self, shard: int, host: Host, server) -> ThinnerBase:
-        suffix = "" if shard == 0 else f":{shard}"
-        common = dict(
-            engine=self.engine,
-            network=self.network,
-            server=server,
-            host=host,
-            encouragement_delay=self.config.encouragement_delay,
-            payment_timeout=self.config.payment_timeout,
-            max_contenders=self.config.max_contenders,
-        )
-        if self.config.defense == "speakup":
-            return VirtualAuctionThinner(**common)
-        if self.config.defense == "retry":
-            return RandomDropThinner(
-                rng=self.streams.stream(f"retry-lottery{suffix}"), **common
-            )
-        if self.config.defense == "quantum":
-            return QuantumAuctionThinner(
-                quantum_seconds=self.config.quantum_seconds,
-                suspend_abort_timeout=self.config.suspend_abort_timeout,
-                **common,
-            )
-        if self.config.defense == "none":
-            return NoDefenseThinner(
-                rng=self.streams.stream(f"admission{suffix}"),
-                policy=self.config.admission_policy,
-                **common,
-            )
-        raise ExperimentError(f"unknown defense {self.config.defense!r}")  # pragma: no cover
+    # -- per-shard lookups (what Defense.build_thinner builds against) ------------
+
+    def shard_suffix(self, shard: int) -> str:
+        """Stream-name suffix of a shard ("" for shard 0 — the historical names)."""
+        return "" if shard == 0 else f":{shard}"
+
+    def shard_server(self, shard: int):
+        """The server (or pooled view) thinner shard ``shard`` admits into."""
+        return self._shard_servers[shard]
+
+    def shard_stream(self, name: str, shard: int):
+        """A per-shard random stream (shard 0 keeps the unsuffixed name)."""
+        return self.streams.stream(f"{name}{self.shard_suffix(shard)}")
+
+    @property
+    def defense_label(self) -> str:
+        """The defense name results are recorded under."""
+        return self.config.defense_label
 
     # -- client-facing API --------------------------------------------------------------
 

@@ -3,14 +3,58 @@
 A :class:`Defense` is a named factory that builds a thinner for a
 deployment.  The registry lets experiments and the CLI select defenses by
 name ("speakup", "ratelimit", "pow", ...) without importing each module.
+
+Since the admission-policy redesign a defense is instantiated from a
+:class:`~repro.defenses.spec.DefenseSpec` (name + typed kwargs) and builds
+one thinner *per front-end shard*: :meth:`Defense.build_thinner` takes the
+shard index so a §4.3 fleet gets independent per-shard policy state (own
+token buckets, own engagement controller, own bid index), with the shard's
+host, server, and stream-name suffix looked up through the deployment's
+``shard_*`` helpers.  Defenses that can also run as a screening stage in
+front of another admission policy (rate limiting, profiling, CAPTCHAs — the
+paper's "other defenses" speak-up is compatible with) implement
+:meth:`Defense.build_filter`, which the ``pipeline`` composite uses for its
+front stages.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator
+import difflib
+import inspect
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DefenseError
-from repro.core.thinner import ThinnerBase
+from repro.core.thinner import ClientProtocol, ThinnerBase
+from repro.httpd.messages import Request
+
+
+class FilterStage:
+    """One screening stage of a pipeline defense (drop-or-pass, stateful).
+
+    A stage sees every arriving request *before* the admission thinner does
+    and either passes it through (``None``) or names a drop reason.  Stages
+    keep their own screened/rejected counts so a run can attribute drops per
+    stage (see :class:`~repro.metrics.collector.StageMetrics`).
+    """
+
+    #: Short identifier, normally the owning defense's registry name.
+    name: str = "filter"
+
+    def __init__(self) -> None:
+        self.screened = 0
+        self.rejected = 0
+
+    def screen(
+        self, request: Request, client: ClientProtocol, now: float
+    ) -> Optional[str]:
+        """Return a drop reason to reject ``request``, or None to pass it."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"screened={self.screened}, rejected={self.rejected})"
+        )
 
 
 class Defense:
@@ -19,9 +63,52 @@ class Defense:
     #: Short identifier used by the registry, the CLI, and benchmark tables.
     name: str = "defense"
 
-    def build_thinner(self, deployment) -> ThinnerBase:
-        """Construct this defense's thinner for ``deployment``."""
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> ThinnerBase:
+        """Construct this defense's thinner for one front-end shard.
+
+        ``shard`` is 0 for the (overwhelmingly common) single-thinner
+        deployments; fleets call this once per shard and every call must
+        return an independent thinner.  ``server`` overrides the shard's
+        server (composite defenses interpose multiplexer views).
+        """
         raise NotImplementedError
+
+    def build_filter(self, deployment, shard: int = 0) -> FilterStage:
+        """Construct this defense as a pipeline screening stage.
+
+        Only detect-and-block defenses that can decide drop-or-pass at
+        arrival time (rate limiting, profiling, CAPTCHAs) support this;
+        everything else refuses with a one-line error.
+        """
+        raise DefenseError(
+            f"defense {self.name!r} cannot run as a pipeline filter stage; "
+            f"only screening defenses (ratelimit, profiling, captcha) can"
+        )
+
+    def supports_pooled_admission(self) -> bool:
+        """Whether this defense works under the fleet's "pooled" mode.
+
+        The quantum thinner suspends/resumes "the" active request, which is
+        ill-defined on a shared slot another shard may hold, so the speak-up
+        quantum variant (and any composite delegating to it) returns False.
+        """
+        return True
+
+    def thinner_kwargs(self, deployment, shard: int = 0, server=None) -> dict:
+        """The constructor kwargs every :class:`ThinnerBase` variant shares.
+
+        ``server`` overrides the shard's server (composites such as the
+        adaptive controller interpose a multiplexer view).
+        """
+        return dict(
+            engine=deployment.engine,
+            network=deployment.network,
+            server=server if server is not None else deployment.shard_server(shard),
+            host=deployment.thinner_hosts[shard],
+            encouragement_delay=deployment.config.encouragement_delay,
+            payment_timeout=deployment.config.payment_timeout,
+            max_contenders=deployment.config.max_contenders,
+        )
 
     def describe(self) -> str:
         """One-line human description (shown in benchmark output)."""
@@ -29,6 +116,15 @@ class Defense:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _close_matches_note(name: str, candidates) -> str:
+    """A ``did you mean`` suffix for one-line errors (empty if nothing close)."""
+    matches = difflib.get_close_matches(name, list(candidates), n=2, cutoff=0.6)
+    if not matches:
+        return ""
+    quoted = " or ".join(repr(match) for match in matches)
+    return f" (did you mean {quoted}?)"
 
 
 class DefenseRegistry:
@@ -44,14 +140,58 @@ class DefenseRegistry:
         self._factories[name] = factory
 
     def create(self, name: str, **kwargs) -> Defense:
-        """Instantiate the defense registered under ``name``."""
+        """Instantiate the defense registered under ``name``.
+
+        Unknown names and unknown factory keyword arguments both raise a
+        one-line :class:`~repro.errors.DefenseError` listing the valid
+        choices, with ``difflib`` close-match suggestions.
+        """
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = self.names()
+            raise DefenseError(
+                f"unknown defense {name!r}; expected one of {known}"
+                + _close_matches_note(name, known)
+            ) from None
+        self._check_kwargs(name, factory, kwargs)
+        return factory(**kwargs)
+
+    @staticmethod
+    def _check_kwargs(name: str, factory: Callable[..., Defense], kwargs: dict) -> None:
+        parameters = inspect.signature(factory).parameters
+        if any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        ):
+            return
+        accepted = sorted(p for p in parameters if p != "self")
+        for key in kwargs:
+            if key not in parameters:
+                raise DefenseError(
+                    f"unknown parameter {key!r} for defense {name!r}; "
+                    f"expected one of {accepted}"
+                    + _close_matches_note(key, accepted)
+                )
+
+    def parameters(self, name: str) -> List[Tuple[str, object]]:
+        """The factory's (parameter, default) pairs, in signature order."""
         try:
             factory = self._factories[name]
         except KeyError:
             raise DefenseError(
-                f"unknown defense {name!r}; known: {sorted(self._factories)}"
+                f"unknown defense {name!r}; expected one of {self.names()}"
             ) from None
-        return factory(**kwargs)
+        return [
+            (
+                parameter.name,
+                None
+                if parameter.default is inspect.Parameter.empty
+                else parameter.default,
+            )
+            for parameter in inspect.signature(factory).parameters.values()
+            if parameter.name != "self"
+        ]
 
     def names(self) -> list[str]:
         """All registered defense names, sorted."""

@@ -7,6 +7,11 @@ solving the challenge; requests whose challenge goes unsolved are dropped.
 Setting a non-trivial solve probability for bad clients models hired
 CAPTCHA farms; setting a sub-1.0 probability for good clients models
 legitimate automated clientele (condition C4) that simply cannot answer.
+
+As with the other detect-and-block defenses, the challenge can also screen
+contenders ahead of another admission policy (:class:`CaptchaFilter`), e.g.
+``"captcha>speakup"``: humans-only first, bandwidth-proportional pricing for
+whoever passes.
 """
 
 from __future__ import annotations
@@ -15,12 +20,45 @@ from typing import Dict, Optional
 
 from repro.errors import DefenseError
 from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
-from repro.defenses.base import Defense, registry
+from repro.defenses.base import Defense, FilterStage, registry
 from repro.httpd.messages import Request
 from repro.rng import RandomStream
 
 #: Default solve probabilities per client class.
 DEFAULT_SOLVE_PROBABILITIES = {"good": 0.95, "bad": 0.05}
+
+
+def _merged_probabilities(overrides: Optional[Dict[str, float]]) -> Dict[str, float]:
+    probabilities = dict(DEFAULT_SOLVE_PROBABILITIES)
+    if overrides:
+        probabilities.update(overrides)
+    for cls, probability in probabilities.items():
+        if not 0.0 <= probability <= 1.0:
+            raise DefenseError(f"solve probability for {cls!r} must be in [0, 1]")
+    return probabilities
+
+
+class CaptchaFilter(FilterStage):
+    """Screen requests by a per-class challenge-solve probability."""
+
+    name = "captcha"
+
+    def __init__(
+        self,
+        rng: RandomStream,
+        solve_probabilities: Optional[Dict[str, float]] = None,
+    ) -> None:
+        super().__init__()
+        self.rng = rng
+        self.solve_probabilities = _merged_probabilities(solve_probabilities)
+
+    def screen(
+        self, request: Request, client: ClientProtocol, now: float
+    ) -> Optional[str]:
+        probability = self.solve_probabilities.get(request.client_class, 1.0)
+        if self.rng.bernoulli(probability):
+            return None
+        return "captcha-failed"
 
 
 class CaptchaThinner(ThinnerBase):
@@ -35,12 +73,7 @@ class CaptchaThinner(ThinnerBase):
     ) -> None:
         super().__init__(*args, **kwargs)
         self.rng = rng
-        self.solve_probabilities = dict(DEFAULT_SOLVE_PROBABILITIES)
-        if solve_probabilities:
-            self.solve_probabilities.update(solve_probabilities)
-        for cls, probability in self.solve_probabilities.items():
-            if not 0.0 <= probability <= 1.0:
-                raise DefenseError(f"solve probability for {cls!r} must be in [0, 1]")
+        self.solve_probabilities = _merged_probabilities(solve_probabilities)
         self.challenges_failed = 0
 
     def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
@@ -63,24 +96,24 @@ class CaptchaThinner(ThinnerBase):
 
 
 class CaptchaDefense(Defense):
-    """Factory for :class:`CaptchaThinner`."""
+    """Factory for :class:`CaptchaThinner` / :class:`CaptchaFilter`."""
 
     name = "captcha"
 
     def __init__(self, solve_probabilities: Optional[Dict[str, float]] = None) -> None:
         self.solve_probabilities = solve_probabilities
 
-    def build_thinner(self, deployment) -> CaptchaThinner:
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> CaptchaThinner:
         return CaptchaThinner(
-            engine=deployment.engine,
-            network=deployment.network,
-            server=deployment.server,
-            host=deployment.thinner_host,
-            rng=deployment.streams.stream("captcha"),
+            rng=deployment.shard_stream("captcha", shard),
             solve_probabilities=self.solve_probabilities,
-            encouragement_delay=deployment.config.encouragement_delay,
-            payment_timeout=deployment.config.payment_timeout,
-            max_contenders=deployment.config.max_contenders,
+            **self.thinner_kwargs(deployment, shard, server=server),
+        )
+
+    def build_filter(self, deployment, shard: int = 0) -> CaptchaFilter:
+        return CaptchaFilter(
+            rng=deployment.shard_stream("captcha", shard),
+            solve_probabilities=self.solve_probabilities,
         )
 
     def describe(self) -> str:

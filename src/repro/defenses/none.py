@@ -2,34 +2,37 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.admission import NoDefenseThinner
 from repro.core.thinner import ThinnerBase
 from repro.defenses.base import Defense, registry
 
 
 class NoDefense(Defense):
-    """The undefended baseline (the paper's "without speak-up" runs)."""
+    """The undefended baseline (the paper's "without speak-up" runs).
+
+    ``policy`` ("random" or "fifo") defaults to the deployment's
+    ``admission_policy`` knob, which is what the historical
+    ``defense="none"`` string path always used.
+    """
 
     name = "none"
 
-    def __init__(self, policy: str = "random") -> None:
+    def __init__(self, policy: Optional[str] = None) -> None:
         self.policy = policy
 
-    def build_thinner(self, deployment) -> ThinnerBase:
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> ThinnerBase:
+        policy = self.policy if self.policy is not None else deployment.config.admission_policy
         return NoDefenseThinner(
-            engine=deployment.engine,
-            network=deployment.network,
-            server=deployment.server,
-            host=deployment.thinner_host,
-            rng=deployment.streams.stream("admission"),
-            policy=self.policy,
-            encouragement_delay=deployment.config.encouragement_delay,
-            payment_timeout=deployment.config.payment_timeout,
-            max_contenders=deployment.config.max_contenders,
+            rng=deployment.shard_stream("admission", shard),
+            policy=policy,
+            **self.thinner_kwargs(deployment, shard, server=server),
         )
 
     def describe(self) -> str:
-        return f"no defense ({self.policy} drop on overload)"
+        policy = self.policy if self.policy is not None else "admission_policy"
+        return f"no defense ({policy} drop on overload)"
 
 
 registry.register(NoDefense.name, NoDefense)

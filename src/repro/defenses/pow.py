@@ -87,16 +87,10 @@ class ProofOfWorkDefense(Defense):
     def __init__(self, puzzle_cost: float = 1.0) -> None:
         self.puzzle_cost = puzzle_cost
 
-    def build_thinner(self, deployment) -> ProofOfWorkThinner:
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> ProofOfWorkThinner:
         return ProofOfWorkThinner(
-            engine=deployment.engine,
-            network=deployment.network,
-            server=deployment.server,
-            host=deployment.thinner_host,
             puzzle_cost=self.puzzle_cost,
-            encouragement_delay=deployment.config.encouragement_delay,
-            payment_timeout=deployment.config.payment_timeout,
-            max_contenders=deployment.config.max_contenders,
+            **self.thinner_kwargs(deployment, shard, server=server),
         )
 
     def describe(self) -> str:

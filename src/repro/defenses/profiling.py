@@ -8,6 +8,12 @@ learned during the first ``learning_period`` seconds of the run.  The known
 weakness the paper emphasises — bots smart enough to fly under the profiling
 radar, or that built up a profile before attacking — corresponds here to bad
 clients whose request rate stays at or below the learned baseline.
+
+Profiling is exactly the front-filter the paper imagines layering *ahead* of
+speak-up ("a profiling defense might run in front of the thinner, blocking
+clients that violate the profile while the auction prices the rest"):
+:class:`ProfilingFilter` packages the same profile enforcement as a pipeline
+screening stage.
 """
 
 from __future__ import annotations
@@ -16,9 +22,87 @@ from typing import Dict, Optional
 
 from repro.errors import DefenseError
 from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
-from repro.defenses.base import Defense, registry
-from repro.defenses.ratelimit import TokenBucket
+from repro.defenses.base import Defense, FilterStage, registry
+from repro.defenses.ratelimit import TokenBucket, observed_identity
 from repro.httpd.messages import Request
+
+
+class _ProfileTable:
+    """Per-identity demand profile shared by the thinner and the filter."""
+
+    def __init__(
+        self,
+        baseline_profile: Optional[Dict[str, float]],
+        default_allowed_rps: float,
+        learning_period: float,
+        slack_factor: float,
+    ) -> None:
+        if default_allowed_rps <= 0:
+            raise DefenseError("default_allowed_rps must be positive")
+        if slack_factor < 1.0:
+            raise DefenseError("slack_factor must be at least 1.0")
+        self.baseline_profile = dict(baseline_profile or {})
+        self.default_allowed_rps = default_allowed_rps
+        self.learning_period = learning_period
+        self.slack_factor = slack_factor
+        self._observed: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def allowed_rate(self, identity: str) -> float:
+        """The request rate the profile permits for ``identity``."""
+        if identity in self.baseline_profile:
+            return self.baseline_profile[identity] * self.slack_factor
+        if self.learning_period > 0 and identity in self._observed:
+            learned = self._observed[identity] / self.learning_period
+            return max(learned, 0.1) * self.slack_factor
+        return self.default_allowed_rps
+
+    def enforcing(self, now: float) -> bool:
+        return now >= self.learning_period
+
+    def observe(self, identity: str) -> None:
+        self._observed[identity] = self._observed.get(identity, 0) + 1
+
+    def admit(self, identity: str, now: float) -> bool:
+        bucket = self._buckets.get(identity)
+        if bucket is None:
+            rate = self.allowed_rate(identity)
+            bucket = TokenBucket(rate=rate, burst=max(1.0, rate), tokens=max(1.0, rate),
+                                 last_refill=now)
+            self._buckets[identity] = bucket
+        return bucket.try_consume(now)
+
+
+class ProfilingFilter(FilterStage):
+    """Enforce a demand profile as a pipeline screening stage."""
+
+    name = "profiling"
+
+    def __init__(
+        self,
+        baseline_profile: Optional[Dict[str, float]] = None,
+        default_allowed_rps: float = 4.0,
+        learning_period: float = 0.0,
+        slack_factor: float = 1.5,
+    ) -> None:
+        super().__init__()
+        self._profile = _ProfileTable(
+            baseline_profile, default_allowed_rps, learning_period, slack_factor
+        )
+
+    def allowed_rate(self, identity: str) -> float:
+        return self._profile.allowed_rate(identity)
+
+    def screen(
+        self, request: Request, client: ClientProtocol, now: float
+    ) -> Optional[str]:
+        identity = observed_identity(request)
+        if not self._profile.enforcing(now):
+            self._profile.observe(identity)
+            return None
+        if self._profile.admit(identity, now):
+            return None
+        return "profile-violation"
 
 
 class ProfilingThinner(ThinnerBase):
@@ -34,48 +118,31 @@ class ProfilingThinner(ThinnerBase):
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
-        if default_allowed_rps <= 0:
-            raise DefenseError("default_allowed_rps must be positive")
-        if slack_factor < 1.0:
-            raise DefenseError("slack_factor must be at least 1.0")
-        self.baseline_profile = dict(baseline_profile or {})
+        self._profile = _ProfileTable(
+            baseline_profile, default_allowed_rps, learning_period, slack_factor
+        )
+        self.baseline_profile = self._profile.baseline_profile
         self.default_allowed_rps = default_allowed_rps
         self.learning_period = learning_period
         self.slack_factor = slack_factor
-        self._observed: Dict[str, int] = {}
-        self._buckets: Dict[str, TokenBucket] = {}
         self.rejected = 0
 
     # -- profile handling ------------------------------------------------------------
 
     def allowed_rate(self, identity: str) -> float:
         """The request rate the profile permits for ``identity``."""
-        if identity in self.baseline_profile:
-            return self.baseline_profile[identity] * self.slack_factor
-        if self.learning_period > 0 and identity in self._observed:
-            learned = self._observed[identity] / self.learning_period
-            return max(learned, 0.1) * self.slack_factor
-        return self.default_allowed_rps
+        return self._profile.allowed_rate(identity)
 
     def _enforcing(self) -> bool:
-        return self.engine.now >= self.learning_period
-
-    def _bucket_for(self, identity: str) -> TokenBucket:
-        bucket = self._buckets.get(identity)
-        if bucket is None:
-            rate = self.allowed_rate(identity)
-            bucket = TokenBucket(rate=rate, burst=max(1.0, rate), tokens=max(1.0, rate),
-                                 last_refill=self.engine.now)
-            self._buckets[identity] = bucket
-        return bucket
+        return self._profile.enforcing(self.engine.now)
 
     # -- thinner behaviour --------------------------------------------------------------
 
     def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
-        identity = getattr(request, "spoofed_id", None) or request.client_id
+        identity = observed_identity(request)
         if not self._enforcing():
-            self._observed[identity] = self._observed.get(identity, 0) + 1
-        elif not self._bucket_for(identity).try_consume(self.engine.now):
+            self._profile.observe(identity)
+        elif not self._profile.admit(identity, self.engine.now):
             self.rejected += 1
             self._drop(request, "profile-violation")
             return
@@ -93,7 +160,7 @@ class ProfilingThinner(ThinnerBase):
 
 
 class ProfilingDefense(Defense):
-    """Factory for :class:`ProfilingThinner`."""
+    """Factory for :class:`ProfilingThinner` / :class:`ProfilingFilter`."""
 
     name = "profiling"
 
@@ -109,20 +176,22 @@ class ProfilingDefense(Defense):
         self.learning_period = learning_period
         self.slack_factor = slack_factor
 
-    def build_thinner(self, deployment) -> ProfilingThinner:
-        return ProfilingThinner(
-            engine=deployment.engine,
-            network=deployment.network,
-            server=deployment.server,
-            host=deployment.thinner_host,
+    def _profile_kwargs(self) -> dict:
+        return dict(
             baseline_profile=self.baseline_profile,
             default_allowed_rps=self.default_allowed_rps,
             learning_period=self.learning_period,
             slack_factor=self.slack_factor,
-            encouragement_delay=deployment.config.encouragement_delay,
-            payment_timeout=deployment.config.payment_timeout,
-            max_contenders=deployment.config.max_contenders,
         )
+
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> ProfilingThinner:
+        return ProfilingThinner(
+            **self._profile_kwargs(),
+            **self.thinner_kwargs(deployment, shard, server=server),
+        )
+
+    def build_filter(self, deployment, shard: int = 0) -> ProfilingFilter:
+        return ProfilingFilter(**self._profile_kwargs())
 
     def describe(self) -> str:
         return f"profiling (default {self.default_allowed_rps:g} req/s, slack {self.slack_factor:g}x)"

@@ -7,6 +7,12 @@ failure modes (per §8.1) are NAT — many legitimate clients behind one
 address share one bucket — and spoofing — one attacker presenting many
 identities gets many buckets.  The ablation benchmark exercises the latter
 with a spoofing bad client.
+
+Rate limiting can also run as a *screening stage* in front of another
+admission policy (:class:`RateLimitFilter`): the ``pipeline`` composite uses
+it to model the paper's point that speak-up composes with detect-and-block
+front-filters — the bucket check screens contenders before they ever enter
+the auction.
 """
 
 from __future__ import annotations
@@ -16,8 +22,19 @@ from typing import Dict, Optional
 
 from repro.errors import DefenseError
 from repro.core.thinner import ClientProtocol, Contender, ThinnerBase
-from repro.defenses.base import Defense, registry
+from repro.defenses.base import Defense, FilterStage, registry
 from repro.httpd.messages import Request
+
+
+def observed_identity(request: Request) -> str:
+    """The identity a detect-and-block defense can see.
+
+    Spoofers override ``spoofed_id``; everyone else is their client id.
+    """
+    spoofed = getattr(request, "spoofed_id", None)
+    if spoofed:
+        return spoofed
+    return request.client_id
 
 
 @dataclass
@@ -41,33 +58,58 @@ class TokenBucket:
         return False
 
 
-class RateLimitThinner(ThinnerBase):
-    """Admit each identity at no more than ``allowed_rps`` requests/s."""
+class _BucketTable:
+    """Per-identity token buckets shared by the thinner and the filter."""
 
-    def __init__(self, *args, allowed_rps: float, burst: Optional[float] = None, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(self, allowed_rps: float, burst: Optional[float]) -> None:
         if allowed_rps <= 0:
             raise DefenseError("allowed_rps must be positive")
         self.allowed_rps = allowed_rps
         self.burst = burst if burst is not None else max(1.0, allowed_rps)
         self._buckets: Dict[str, TokenBucket] = {}
-        self.rejected = 0
 
-    def _bucket_for(self, identity: str) -> TokenBucket:
+    def admit(self, identity: str, now: float) -> bool:
         bucket = self._buckets.get(identity)
         if bucket is None:
             bucket = TokenBucket(
                 rate=self.allowed_rps,
                 burst=self.burst,
                 tokens=self.burst,
-                last_refill=self.engine.now,
+                last_refill=now,
             )
             self._buckets[identity] = bucket
-        return bucket
+        return bucket.try_consume(now)
+
+
+class RateLimitFilter(FilterStage):
+    """Screen requests against per-identity token buckets (pipeline stage)."""
+
+    name = "ratelimit"
+
+    def __init__(self, allowed_rps: float = 4.0, burst: Optional[float] = None) -> None:
+        super().__init__()
+        self._table = _BucketTable(allowed_rps, burst)
+
+    def screen(
+        self, request: Request, client: ClientProtocol, now: float
+    ) -> Optional[str]:
+        if self._table.admit(observed_identity(request), now):
+            return None
+        return "rate-limited"
+
+
+class RateLimitThinner(ThinnerBase):
+    """Admit each identity at no more than ``allowed_rps`` requests/s."""
+
+    def __init__(self, *args, allowed_rps: float, burst: Optional[float] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._table = _BucketTable(allowed_rps, burst)
+        self.allowed_rps = self._table.allowed_rps
+        self.burst = self._table.burst
+        self.rejected = 0
 
     def _handle_arrival(self, request: Request, client: ClientProtocol) -> None:
-        identity = self._observed_identity(request, client)
-        if not self._bucket_for(identity).try_consume(self.engine.now):
+        if not self._table.admit(observed_identity(request), self.engine.now):
             self.rejected += 1
             self._drop(request, "rate-limited")
             return
@@ -83,17 +125,9 @@ class RateLimitThinner(ThinnerBase):
             return
         self._admit(self._oldest_contender(), price_bytes=0.0)
 
-    @staticmethod
-    def _observed_identity(request: Request, client: ClientProtocol) -> str:
-        """The identity the defense can see — spoofers override ``spoofed_id``."""
-        spoofed = getattr(request, "spoofed_id", None)
-        if spoofed:
-            return spoofed
-        return request.client_id
-
 
 class RateLimitDefense(Defense):
-    """Factory for :class:`RateLimitThinner`."""
+    """Factory for :class:`RateLimitThinner` / :class:`RateLimitFilter`."""
 
     name = "ratelimit"
 
@@ -101,18 +135,15 @@ class RateLimitDefense(Defense):
         self.allowed_rps = allowed_rps
         self.burst = burst
 
-    def build_thinner(self, deployment) -> RateLimitThinner:
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> RateLimitThinner:
         return RateLimitThinner(
-            engine=deployment.engine,
-            network=deployment.network,
-            server=deployment.server,
-            host=deployment.thinner_host,
             allowed_rps=self.allowed_rps,
             burst=self.burst,
-            encouragement_delay=deployment.config.encouragement_delay,
-            payment_timeout=deployment.config.payment_timeout,
-            max_contenders=deployment.config.max_contenders,
+            **self.thinner_kwargs(deployment, shard, server=server),
         )
+
+    def build_filter(self, deployment, shard: int = 0) -> RateLimitFilter:
+        return RateLimitFilter(allowed_rps=self.allowed_rps, burst=self.burst)
 
     def describe(self) -> str:
         return f"rate limit ({self.allowed_rps:g} req/s per address)"

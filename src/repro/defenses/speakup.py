@@ -16,7 +16,13 @@ VARIANTS = ("auction", "retry", "quantum")
 
 
 class SpeakUpDefense(Defense):
-    """Bandwidth-as-currency defense; variant selects the mechanism."""
+    """Bandwidth-as-currency defense; variant selects the mechanism.
+
+    ``quantum_seconds`` applies to the ``"quantum"`` variant only and falls
+    back to ``DeploymentConfig.quantum_seconds`` (and from there to the
+    server's mean service time) when left unset, so the historical
+    ``defense="quantum"`` string path is unchanged.
+    """
 
     name = "speakup"
 
@@ -26,21 +32,29 @@ class SpeakUpDefense(Defense):
         self.variant = variant
         self.quantum_seconds = quantum_seconds
 
-    def build_thinner(self, deployment) -> ThinnerBase:
-        common = dict(
-            engine=deployment.engine,
-            network=deployment.network,
-            server=deployment.server,
-            host=deployment.thinner_host,
-            encouragement_delay=deployment.config.encouragement_delay,
-            payment_timeout=deployment.config.payment_timeout,
-            max_contenders=deployment.config.max_contenders,
-        )
+    def build_thinner(self, deployment, shard: int = 0, server=None) -> ThinnerBase:
+        common = self.thinner_kwargs(deployment, shard, server=server)
         if self.variant == "auction":
             return VirtualAuctionThinner(**common)
         if self.variant == "retry":
-            return RandomDropThinner(rng=deployment.streams.stream("retry-lottery"), **common)
-        return QuantumAuctionThinner(quantum_seconds=self.quantum_seconds, **common)
+            return RandomDropThinner(
+                rng=deployment.shard_stream("retry-lottery", shard), **common
+            )
+        quantum_seconds = (
+            self.quantum_seconds
+            if self.quantum_seconds is not None
+            else deployment.config.quantum_seconds
+        )
+        return QuantumAuctionThinner(
+            quantum_seconds=quantum_seconds,
+            suspend_abort_timeout=deployment.config.suspend_abort_timeout,
+            **common,
+        )
+
+    def supports_pooled_admission(self) -> bool:
+        # The quantum variant suspends/resumes the active request, which is
+        # ill-defined on a pooled slot another shard may hold.
+        return self.variant != "quantum"
 
     def describe(self) -> str:
         return f"speak-up ({self.variant})"

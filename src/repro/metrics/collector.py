@@ -21,6 +21,120 @@ from repro.metrics.summary import Summary, mean, ratio, summarise
 
 
 @dataclass
+class StageMetrics:
+    """One pipeline screening stage's work (per thinner shard).
+
+    ``screened`` counts every request the stage examined; ``rejected`` the
+    ones it dropped before the admission thinner saw them.  Present only
+    for pipeline defenses.
+    """
+
+    name: str
+    screened: int = 0
+    rejected: int = 0
+
+    @property
+    def passed(self) -> int:
+        return self.screened - self.rejected
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "screened": self.screened, "rejected": self.rejected}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageMetrics":
+        return cls(
+            name=data["name"],
+            screened=int(data.get("screened", 0)),
+            rejected=int(data.get("rejected", 0)),
+        )
+
+
+@dataclass
+class EngagementMetrics:
+    """When an adaptive defense was engaged over a run (per thinner shard).
+
+    ``transitions`` holds the (time, engaged) switch events in order; the
+    run starts disengaged at t=0.  Present only for adaptive defenses.
+    """
+
+    duration: float
+    transitions: List[List] = field(default_factory=list)
+
+    @classmethod
+    def from_log(cls, log, duration: float) -> "EngagementMetrics":
+        return cls(
+            duration=duration,
+            transitions=[[float(time), bool(engaged)] for time, engaged in log],
+        )
+
+    @property
+    def engagements(self) -> int:
+        """How many times the inner defense was switched on."""
+        return sum(1 for _time, engaged in self.transitions if engaged)
+
+    @property
+    def first_engaged_at(self) -> Optional[float]:
+        for time, engaged in self.transitions:
+            if engaged:
+                return time
+        return None
+
+    @property
+    def last_disengaged_at(self) -> Optional[float]:
+        for time, engaged in reversed(self.transitions):
+            if not engaged:
+                return time
+        return None
+
+    @property
+    def engaged_at_end(self) -> bool:
+        return bool(self.transitions) and bool(self.transitions[-1][1])
+
+    @property
+    def time_engaged(self) -> float:
+        """Total simulated seconds the inner defense was on."""
+        total, engaged_since = 0.0, None
+        for time, engaged in self.transitions:
+            if engaged and engaged_since is None:
+                engaged_since = time
+            elif not engaged and engaged_since is not None:
+                total += time - engaged_since
+                engaged_since = None
+        if engaged_since is not None:
+            total += self.duration - engaged_since
+        return total
+
+    @property
+    def engaged_fraction(self) -> float:
+        return ratio(self.time_engaged, self.duration)
+
+    def engaged_at(self, time: float) -> bool:
+        """Whether the inner defense was on at simulated ``time``."""
+        engaged = False
+        for switch_time, switch_engaged in self.transitions:
+            if switch_time > time:
+                break
+            engaged = switch_engaged
+        return engaged
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "transitions": [list(entry) for entry in self.transitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngagementMetrics":
+        return cls(
+            duration=float(data.get("duration", 0.0)),
+            transitions=[
+                [float(time), bool(engaged)]
+                for time, engaged in data.get("transitions", [])
+            ],
+        )
+
+
+@dataclass
 class ClassMetrics:
     """Aggregates over all clients of one class ("good" or "bad")."""
 
@@ -113,10 +227,19 @@ class ShardMetrics:
     client_bytes_paid: float = 0.0
     served_by_class: Dict[str, int] = field(default_factory=dict)
     received_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Pipeline front-stage attribution; empty outside pipeline defenses.
+    stages: List[StageMetrics] = field(default_factory=list)
+    #: Adaptive engagement windows; None outside adaptive defenses.
+    engagement: Optional[EngagementMetrics] = None
 
     def to_dict(self) -> dict:
-        """A JSON-ready dictionary that :meth:`from_dict` can rebuild."""
-        return {
+        """A JSON-ready dictionary that :meth:`from_dict` can rebuild.
+
+        The ``stages``/``engagement`` keys are emitted only when present,
+        which keeps the serialised schema byte-identical to earlier
+        releases for every non-composite defense.
+        """
+        payload = {
             "shard": self.shard,
             "thinner_host": self.thinner_host,
             "clients": self.clients,
@@ -134,6 +257,11 @@ class ShardMetrics:
             "served_by_class": dict(self.served_by_class),
             "received_by_class": dict(self.received_by_class),
         }
+        if self.stages:
+            payload["stages"] = [stage.to_dict() for stage in self.stages]
+        if self.engagement is not None:
+            payload["engagement"] = self.engagement.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "ShardMetrics":
@@ -161,6 +289,14 @@ class ShardMetrics:
                 key: int(value)
                 for key, value in data.get("received_by_class", {}).items()
             },
+            stages=[
+                StageMetrics.from_dict(entry) for entry in data.get("stages", [])
+            ],
+            engagement=(
+                EngagementMetrics.from_dict(data["engagement"])
+                if data.get("engagement") is not None
+                else None
+            ),
         )
 
 
@@ -215,6 +351,32 @@ class RunResult:
     @property
     def server_utilisation(self) -> float:
         return ratio(self.server_busy_time, self.duration)
+
+    @property
+    def engagement(self) -> Optional[EngagementMetrics]:
+        """The single-thinner run's engagement windows (adaptive defenses).
+
+        Fleet runs carry one :class:`EngagementMetrics` per shard in
+        :attr:`shards` (each shard's watcher engages independently); this
+        convenience view is only defined when there is exactly one.
+        """
+        if len(self.shards) == 1:
+            return self.shards[0].engagement
+        return None
+
+    @property
+    def stages(self) -> List[StageMetrics]:
+        """Pipeline stage totals summed across shards (empty otherwise)."""
+        totals: Dict[str, StageMetrics] = {}
+        order: List[str] = []
+        for shard in self.shards:
+            for stage in shard.stages:
+                if stage.name not in totals:
+                    totals[stage.name] = StageMetrics(name=stage.name)
+                    order.append(stage.name)
+                totals[stage.name].screened += stage.screened
+                totals[stage.name].rejected += stage.rejected
+        return [totals[name] for name in order]
 
     def as_dict(self) -> dict:
         """Flat dictionary, convenient for printing and JSON dumps."""
@@ -411,6 +573,17 @@ def _collect_shards(deployment) -> List[ShardMetrics]:
             served_by_class=dict(stats.served_by_class),
             received_by_class=dict(stats.received_by_class),
         )
+        stage_triples = getattr(thinner, "stage_metrics", None)
+        if stage_triples:
+            metrics.stages = [
+                StageMetrics(name=name, screened=screened, rejected=rejected)
+                for name, screened, rejected in stage_triples
+            ]
+        engagement_log = getattr(thinner, "engagement_log", None)
+        if engagement_log is not None:
+            metrics.engagement = EngagementMetrics.from_log(
+                engagement_log, deployment.duration
+            )
         shards.append(metrics)
     # One pass over the clients (not one scan per shard) to attribute them.
     for client in deployment.clients:
@@ -468,7 +641,7 @@ def collect(deployment) -> RunResult:
 
     return RunResult(
         duration=deployment.duration,
-        defense=deployment.config.defense,
+        defense=deployment.defense_label,
         server_capacity_rps=capacity,
         good=good,
         bad=bad,

@@ -1,11 +1,13 @@
 """The pinned performance benchmark behind ``speakup-repro bench``.
 
-The harness runs a fixed set of registry scenarios at five scales —
+The harness runs a fixed set of registry scenarios at six scales —
 ``lan-small`` (the paper's own scale), ``tiers-medium`` (hundreds of
 heterogeneous clients), ``stress-mega`` (thousands of clients, bound on the
 fluid allocator), ``thinner-mega`` (≥50k clients, bound on the
-admission/auction path), and ``fleet-mega`` (≥17k clients spread over an
-8-shard thinner fleet, §4.3 scale-out) — and measures engine throughput
+admission/auction path), ``fleet-mega`` (≥17k clients spread over an
+8-shard thinner fleet, §4.3 scale-out), and ``adaptive-pulse`` (the
+attack-triggered engagement controller switching speak-up on and off
+around a pulse) — and measures engine throughput
 (events/second)
 plus the network's hot-path counters
 (:class:`repro.perf.counters.SimCounters`).
@@ -105,6 +107,23 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
             thinner_shards=4,
             capacity_rps=400.0,
             duration=1.0,
+        ),
+    ),
+    BenchCase(
+        name="adaptive-pulse",
+        scenario="adaptive-pulse",
+        args=dict(
+            good_clients=300,
+            bad_clients=150,
+            capacity_rps=1200.0,
+            duration=12.0,
+            check_interval_s=0.5,
+        ),
+        quick_args=dict(
+            good_clients=60,
+            bad_clients=30,
+            capacity_rps=240.0,
+            duration=6.0,
         ),
     ),
 )

@@ -27,6 +27,15 @@ layer, which shares the network's counter object):
 * ``bid_index_refreshes``  — bid-index entries re-keyed because the fluid
   allocator changed a payment flow's rate (the push half of the kinetic
   scheme; zero while rates are quiescent).
+
+The composable admission-policy layer adds three more:
+
+* ``filter_screened`` / ``filter_rejected`` — pipeline front-stage work:
+  requests examined by screening stages and how many they dropped before
+  the admission thinner ever saw them (per-stage attribution lives in
+  :class:`~repro.metrics.collector.StageMetrics`);
+* ``engagement_switches`` — adaptive-defense transitions (engage +
+  disengage events) across the run; zero for static policies.
 """
 
 from __future__ import annotations
@@ -47,6 +56,9 @@ class SimCounters:
         "auctions_held",
         "contenders_scanned",
         "bid_index_refreshes",
+        "filter_screened",
+        "filter_rejected",
+        "engagement_switches",
     )
 
     def __init__(self) -> None:
@@ -63,6 +75,9 @@ class SimCounters:
         self.auctions_held = 0
         self.contenders_scanned = 0
         self.bid_index_refreshes = 0
+        self.filter_screened = 0
+        self.filter_rejected = 0
+        self.engagement_switches = 0
 
     def snapshot(self) -> Dict[str, int]:
         """The counters as a plain dict (JSON-ready)."""

@@ -9,7 +9,9 @@ callers (tests, benchmarks) shrink them via the factory arguments.
 Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``rtt-tiers`` (Figure 7), ``shared-bottleneck`` (Figure 8), ``cross-traffic``
 (Figure 9).  New workloads: ``flash-crowd``, ``pulsed-attack``,
-``diurnal-demand``, ``uplink-tiers``, the sharded-fleet scenarios
+``diurnal-demand``, ``uplink-tiers``, the composable-admission scenarios
+``adaptive-pulse`` (attack-triggered engagement) and ``layered-lan``
+(rate-limit filter in front of the auction), the sharded-fleet scenarios
 ``fleet-lan`` and ``fleet-mega`` (§4.3 scale-out), and the perf-harness
 workloads ``stress-mega`` (allocator-bound) and ``thinner-mega``
 (auction-bound, ≥50k clients).
@@ -25,6 +27,7 @@ from repro.constants import (
     MBIT,
     milliseconds,
 )
+from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.errors import ExperimentError
 from repro.simnet.topology import DEFAULT_THINNER_BANDWIDTH
 from repro.scenarios.spec import (
@@ -145,6 +148,12 @@ def scenario_markdown() -> str:
             )
         lines.append(f"**Topology:** {', '.join(topo_bits)}.")
         lines.append("")
+
+        if spec.defense_spec is not None:
+            lines.append(f"**Defense:** `{spec.defense_spec.label()}` (a composed")
+            lines.append("`DefenseSpec`; its kwargs are sweepable via")
+            lines.append("`--grid defense_spec.KWARG=...`).")
+            lines.append("")
 
         lines.append("**Client mix (at defaults):**")
         lines.append("")
@@ -554,6 +563,119 @@ def uplink_tiers(
         groups=groups,
         capacity_rps=capacity_rps,
         defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("adaptive-pulse")
+def adaptive_pulse(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    capacity_rps: float = 100.0,
+    inner_defense: str = "speakup",
+    pulse_start_s: Optional[float] = None,
+    pulse_length_s: Optional[float] = None,
+    engage_threshold: float = 0.9,
+    disengage_threshold: float = 0.6,
+    check_interval_s: float = 1.0,
+    bad_rate: Optional[float] = None,
+    bad_window: Optional[int] = None,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """One attack pulse against an adaptive thinner that engages speak-up on load.
+
+    The paper's "the thinner does nothing in peacetime" design point as a
+    runnable experiment: good demand is steady and modest, the attackers
+    fire a single full-rate pulse from ``pulse_start_s`` (default: a quarter
+    of the run) for ``pulse_length_s`` (default: a quarter of the run), and
+    the :class:`~repro.defenses.adaptive.AdaptiveDefense` load watcher —
+    sampling utilisation every ``check_interval_s`` against the
+    ``engage_threshold``/``disengage_threshold`` hysteresis band — should
+    leave the inner defense off before the pulse, engage it during, and
+    disengage after the backlog drains.
+    """
+    start = duration / 4.0 if pulse_start_s is None else pulse_start_s
+    length = duration / 4.0 if pulse_length_s is None else pulse_length_s
+    if not 0.0 <= start < duration:
+        raise ExperimentError(f"pulse_start_s must be within the run, got {start}")
+    if not 0.0 < length <= duration:
+        raise ExperimentError(f"pulse_length_s must be positive, got {length}")
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (GroupSpec(count=good_clients, client_class="good"),)
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                rate_rps=bad_rate,
+                window=bad_window,
+                # One on-window per run: the period is the whole duration
+                # and the phase lines the window's start up with the pulse.
+                arrival=ArrivalSpec(
+                    kind="onoff",
+                    period_s=duration,
+                    on_s=length,
+                    phase_s=duration - start,
+                    floor=0.0,
+                ),
+            ),
+        )
+    return ScenarioSpec(
+        name="adaptive-pulse",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense_spec=DefenseSpec.make(
+            "adaptive",
+            inner=normalise_defense(inner_defense),
+            engage_threshold=engage_threshold,
+            disengage_threshold=disengage_threshold,
+            check_interval=check_interval_s,
+        ),
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("layered-lan")
+def layered_lan(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    capacity_rps: float = 100.0,
+    allowed_rps: float = 8.0,
+    admission_defense: str = "speakup",
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The §7.2 LAN mix behind a layered defense: rate-limit filter, then auction.
+
+    The paper's compatibility claim ("speak-up composes with other
+    defenses") as a scenario: a per-identity rate-limit stage screens
+    contenders at ``allowed_rps`` before they enter the
+    ``admission_defense`` thinner, so crude floods are cut by the filter
+    while the auction prices whatever stays under the radar.  Per-stage
+    drop attribution lands in ``RunResult.stages``.
+    """
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (GroupSpec(count=good_clients, client_class="good"),)
+    if bad_clients:
+        groups += (GroupSpec(count=bad_clients, client_class="bad"),)
+    return ScenarioSpec(
+        name="layered-lan",
+        topology=TopologySpec(kind="lan"),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense_spec=DefenseSpec.make(
+            "pipeline",
+            stages=(
+                DefenseSpec.make("ratelimit", allowed_rps=allowed_rps),
+                normalise_defense(admission_defense),
+            ),
+        ),
         duration=duration,
         seed=seed,
     )

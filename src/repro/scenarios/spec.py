@@ -20,10 +20,11 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import DEFAULT_CLIENT_BANDWIDTH
-from repro.errors import ExperimentError
+from repro.errors import DefenseError, ExperimentError
 from repro.clients.population import PopulationSpec, build_population
 from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES
-from repro.core.frontend import DEFENSES, Deployment, DeploymentConfig
+from repro.core.frontend import Deployment, DeploymentConfig
+from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.metrics.collector import RunResult
 from repro.simnet.topology import (
     DEFAULT_LAN_DELAY,
@@ -247,7 +248,14 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     groups: Tuple[GroupSpec, ...] = ()
     capacity_rps: float = 100.0
+    #: Admission policy as a string (legacy names, any registered defense,
+    #: or the ``"filter>admission"`` pipeline shorthand).  Ignored when
+    #: :attr:`defense_spec` is set.
     defense: str = "speakup"
+    #: Parameterised admission policy; overrides :attr:`defense` when set.
+    #: Sweepable down to individual factory kwargs — a grid path like
+    #: ``"defense_spec.check_interval"`` replaces one kwarg of the spec.
+    defense_spec: Optional[DefenseSpec] = None
     duration: float = 60.0
     seed: int = 0
     encouragement_delay: float = 0.0
@@ -271,10 +279,13 @@ class ScenarioSpec:
             raise ExperimentError("capacity_rps must be positive")
         if self.duration <= 0:
             raise ExperimentError("duration must be positive")
-        if self.defense not in DEFENSES:
-            raise ExperimentError(
-                f"unknown defense {self.defense!r}; expected one of {DEFENSES}"
-            )
+        try:
+            if self.defense_spec is not None:
+                normalise_defense(self.defense_spec).validate()
+            else:
+                normalise_defense(self.defense)
+        except DefenseError as error:
+            raise ExperimentError(str(error)) from None
         if self.encouragement_delay < 0:
             raise ExperimentError("encouragement_delay must be non-negative")
         if self.thinner_shards < 1:
@@ -345,7 +356,7 @@ class ScenarioSpec:
     def deployment_config(self) -> DeploymentConfig:
         return DeploymentConfig(
             server_capacity_rps=self.capacity_rps,
-            defense=self.defense,
+            defense=self.defense_spec if self.defense_spec is not None else self.defense,
             seed=self.seed,
             encouragement_delay=self.encouragement_delay,
             thinner_shards=self.thinner_shards,
@@ -427,8 +438,13 @@ class ScenarioSpec:
     # -- serialisation ---------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready dictionary that :meth:`from_dict` rebuilds exactly."""
-        return {
+        """A JSON-ready dictionary that :meth:`from_dict` rebuilds exactly.
+
+        The ``defense_spec`` key is emitted only when set, which keeps the
+        serialised schema (and every stored sweep JSON) byte-identical to
+        earlier releases for string-defense scenarios.
+        """
+        payload = {
             "name": self.name,
             "topology": asdict(self.topology),
             "groups": [asdict(group) for group in self.groups],
@@ -442,6 +458,9 @@ class ScenarioSpec:
             "admission_mode": self.admission_mode,
             "config_overrides": {key: value for key, value in self.config_overrides},
         }
+        if self.defense_spec is not None:
+            payload["defense_spec"] = self.defense_spec.to_dict()
+        return payload
 
     def to_json(self, **dumps_kwargs) -> str:
         return json.dumps(self.to_dict(), **dumps_kwargs)
@@ -459,6 +478,9 @@ class ScenarioSpec:
             group if isinstance(group, GroupSpec) else GroupSpec.from_dict(group)
             for group in groups
         )
+        defense_spec = payload.get("defense_spec")
+        if isinstance(defense_spec, dict):
+            payload["defense_spec"] = DefenseSpec.from_dict(defense_spec)
         payload["config_overrides"] = freeze_overrides(
             payload.get("config_overrides", ())
         )
@@ -505,6 +527,18 @@ def freeze_overrides(overrides: Any) -> Tuple[Tuple[str, Any], ...]:
 
 def _replace_path(obj: Any, parts: Sequence[str], value: Any, full_path: str) -> Any:
     head, rest = parts[0], parts[1:]
+    if isinstance(obj, DefenseSpec):
+        # Path components below ``defense_spec`` address the defense's
+        # factory kwargs (``defense_spec.check_interval``), so sweeps can
+        # grid over defense parameters; ``defense_spec.name`` swaps the
+        # defense itself (clearing the kwargs, which belong to the old one).
+        if rest:
+            raise ExperimentError(
+                f"defense spec paths go at most one level deep in {full_path!r}"
+            )
+        if head == "name":
+            return DefenseSpec(name=value)
+        return obj.with_kwarg(head, value)
     if isinstance(obj, tuple):
         try:
             index = int(head)
@@ -522,6 +556,11 @@ def _replace_path(obj: Any, parts: Sequence[str], value: Any, full_path: str) ->
             items[index], rest, value, full_path
         )
         return tuple(items)
+    if obj is None:
+        raise ExperimentError(
+            f"cannot descend into unset field at {head!r} in path {full_path!r} "
+            f"(set the parent field first, e.g. a defense_spec)"
+        )
     known = {f.name for f in fields(obj)}
     if head not in known:
         raise ExperimentError(

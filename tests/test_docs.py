@@ -13,6 +13,7 @@ keeps relative links from rotting.
 
 import os
 import re
+import shlex
 
 import pytest
 
@@ -83,9 +84,9 @@ def _cli_invocations(markdown: str):
         for line in joined.splitlines():
             line = line.strip()
             if line.startswith("python -m repro.cli "):
-                commands.append(line[len("python -m repro.cli "):].split())
+                commands.append(shlex.split(line[len("python -m repro.cli "):]))
             elif line.startswith("speakup-repro "):
-                commands.append(line[len("speakup-repro "):].split())
+                commands.append(shlex.split(line[len("speakup-repro "):]))
     return commands
 
 TUTORIAL_COMMANDS = _cli_invocations(_read(TUTORIAL_MD))

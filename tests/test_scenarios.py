@@ -30,6 +30,10 @@ SMALL_SCENARIO_KWARGS = {
         pulse_period_s=3.0, pulse_on_s=1.5,
     ),
     "diurnal-demand": dict(good_clients=2, bad_clients=2, capacity_rps=10.0, duration=9.0),
+    "adaptive-pulse": dict(good_clients=2, bad_clients=2, capacity_rps=10.0,
+                           bad_window=4, duration=12.0),
+    "layered-lan": dict(good_clients=2, bad_clients=2, capacity_rps=10.0,
+                        duration=6.0),
     "uplink-tiers": dict(clients_per_tier=2, capacity_rps=10.0, duration=6.0),
     "fleet-lan": dict(good_clients=3, bad_clients=3, thinner_shards=2,
                       capacity_rps=10.0, duration=6.0),
