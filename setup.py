@@ -7,4 +7,8 @@ installs cannot build) can still do ``pip install -e . --no-use-pep517``.
 
 from setuptools import setup
 
-setup()
+setup(
+    # The struct-of-arrays fluid core (repro.simnet.soa) and the vectorized
+    # waterfill/bid-trajectory kernels are numpy-backed.
+    install_requires=["numpy>=1.22"],
+)

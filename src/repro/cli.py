@@ -186,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "on a different machine, e.g. in CI)")
     bench.add_argument("--no-save", action="store_true",
                        help="print the measurements without touching the file")
+    bench.add_argument("--profile", action="store_true",
+                       help="run the suite under cProfile and write the top-40 "
+                            "cumulative stats next to the results file")
     bench.add_argument("--fresh-out", default=None, metavar="FILE",
                        help="also write just this run's entry to FILE "
                             "(e.g. a CI artifact), in any mode")
@@ -328,10 +331,28 @@ def _run_bench(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"no committed {mode!r} baseline entry in {out!r} to check against"
             )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     measurements = perf.run_bench(
         quick=args.quick,
         progress=lambda name: print(f"bench: running {name} ...", file=sys.stderr),
     )
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(40)
+        profile_path = os.path.splitext(out)[0] + ".profile.txt"
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            handle.write(buffer.getvalue())
+        print(f"bench: wrote cProfile top-40 (cumulative) to {profile_path}",
+              file=sys.stderr)
     print(format_table(
         headers=["case", "clients", "sim_s", "wall_s", "events", "events/s",
                  "waterfills", "flows/call", "cache_hits", "scan/auction"],

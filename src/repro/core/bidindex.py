@@ -193,8 +193,17 @@ class KineticBidIndex:
     :class:`~repro.perf.counters.SimCounters`.
     """
 
-    def __init__(self, counters) -> None:
+    #: Dirty batches at least this large are re-keyed through the store's
+    #: vectorized trajectory kernel; smaller ones go contender by contender
+    #: (numpy per-call overhead loses on tiny batches).  Both paths compute
+    #: bit-identical keys, so this is purely a performance knob.
+    VEC_MIN_DIRTY = 8
+
+    def __init__(self, counters, store=None) -> None:
         self.counters = counters
+        #: Optional :class:`~repro.simnet.soa.SoAStore` for vectorized batch
+        #: re-keys; ``None`` falls back to per-contender ``peek_balance``.
+        self._store = store
         self._groups: Dict[float, _SlopeGroup] = {}
         self._entries: Dict[int, _Entry] = {}
         #: Contenders whose trajectory changed since the last query,
@@ -227,7 +236,11 @@ class KineticBidIndex:
         # ``base - slope * now`` is time-independent; with slope 0 (no open
         # channel, quiescent gap, not-yet-rated POST) it is exactly ``base``,
         # which keeps the common all-zero-bid ties exact.
-        entry = _Entry(contender, base - slope * now, contender.arrived_at, contender.seq)
+        self._insert(contender, base - slope * now, slope)
+
+    def _insert(self, contender, intercept: float, slope: float) -> None:
+        """Insert at a precomputed ``(intercept, slope)`` key."""
+        entry = _Entry(contender, intercept, contender.arrived_at, contender.seq)
         request_id = contender.request.request_id
         previous = self._entries.get(request_id)
         if previous is not None:  # pragma: no cover - defensive
@@ -260,6 +273,27 @@ class KineticBidIndex:
         dirty, self._dirty = self._dirty, {}
         counters = self.counters
         entries = self._entries
+        store = self._store
+        if store is not None and len(dirty) >= self.VEC_MIN_DIRTY:
+            # One gather over the store's channel/flow arrays computes every
+            # trajectory in the batch; the per-entry kill/insert below runs
+            # in the same dirty-insertion order as the scalar loop.
+            contenders = list(dirty.values())
+            cids = [
+                -1 if contender.channel is None else contender.channel._cid
+                for contender in contenders
+            ]
+            intercepts, slopes = store.bid_trajectories(cids, now)
+            for request_id, contender, intercept, slope in zip(
+                dirty, contenders, intercepts, slopes
+            ):
+                entry = entries.pop(request_id, None)
+                if entry is None:
+                    continue
+                counters.bid_index_refreshes += 1
+                self._kill(entry)
+                self._insert(contender, intercept, slope)
+            return
         for request_id, contender in dirty.items():
             entry = entries.pop(request_id, None)
             if entry is None:

@@ -127,6 +127,11 @@ class DeploymentConfig:
     admission_mode: str = "partitioned"
     #: Model TCP slow start on payment POSTs (disable for speed in huge sweeps).
     model_slow_start: bool = True
+    #: Use the struct-of-arrays vectorized recompute paths (large-component
+    #: waterfill, batch bid re-keys, bulk integration).  Bit-identical to the
+    #: per-object paths — set False only to exercise those directly (the
+    #: equivalence tests do) or to debug.
+    vectorized: bool = True
     #: Pause Python's *cyclic* garbage collector while the event loop runs.
     #: The loop allocates at a huge rate but almost entirely acyclically
     #: (events, heap tuples, flows and index entries are freed by reference
@@ -223,7 +228,9 @@ class Deployment:
         self.engine = Engine()
         self.streams = StreamFactory(self.config.seed)
         self.tracer = Tracer() if self.config.enable_tracing else None
-        self.network = FluidNetwork(self.engine, topology, tracer=self.tracer)
+        self.network = FluidNetwork(
+            self.engine, topology, tracer=self.tracer, vectorized=self.config.vectorized
+        )
         self.slow_start = SlowStartRamp(self.network) if self.config.model_slow_start else None
 
         #: The back-end server(s).  A single-thinner or pooled-fleet

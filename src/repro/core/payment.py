@@ -11,6 +11,13 @@ Two transport artefacts matter to the evaluation and are modelled here:
   :class:`repro.simnet.tcp.SlowStartRamp`), and
 * between consecutive POSTs the channel is quiescent for two RTTs while the
   browser learns it must keep paying (§3.4).
+
+A channel's numeric state (committed and consumed bytes, plus the id of the
+in-flight POST's flow) lives in the network's struct-of-arrays store — see
+:class:`repro.simnet.soa.SoAStore` — so the kinetic bid index can recompute
+a whole batch of dirty bid trajectories in one vectorized pass.  The
+``_committed_bytes``/``_consumed_bytes`` attributes remain available as
+properties over the channel's row.
 """
 
 from __future__ import annotations
@@ -50,6 +57,28 @@ class PaymentChannel:
     consumed before the channel is closed.
     """
 
+    __slots__ = (
+        "network",
+        "engine",
+        "client_host",
+        "thinner_host",
+        "request_id",
+        "post_bytes",
+        "slow_start",
+        "quiescent_rtts",
+        "on_post_complete",
+        "state",
+        "posts_completed",
+        "opened_at",
+        "closed_at",
+        "on_bid_change",
+        "_flow",
+        "_gap_event",
+        "_rtt",
+        "_cid",
+        "_soa",
+    )
+
     def __init__(
         self,
         network: FluidNetwork,
@@ -87,11 +116,29 @@ class PaymentChannel:
         #: never have to pull every contender's bid.
         self.on_bid_change: Optional[Callable[["PaymentChannel"], None]] = None
 
-        self._committed_bytes = 0.0
-        self._consumed_bytes = 0.0
+        self._soa = network.soa
+        self._cid = self._soa.register_channel()
         self._flow: Optional[Flow] = None
         self._gap_event: Optional[Event] = None
         self._rtt = network.rtt(client_host, thinner_host)
+
+    # -- array-backed state -------------------------------------------------------
+
+    @property
+    def _committed_bytes(self) -> float:
+        return self._soa.cm_committed[self._cid]
+
+    @_committed_bytes.setter
+    def _committed_bytes(self, value: float) -> None:
+        self._soa.cm_committed[self._cid] = value
+
+    @property
+    def _consumed_bytes(self) -> float:
+        return self._soa.cm_consumed[self._cid]
+
+    @_consumed_bytes.setter
+    def _consumed_bytes(self, value: float) -> None:
+        self._soa.cm_consumed[self._cid] = value
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -112,7 +159,9 @@ class PaymentChannel:
             self._gap_event = None
         if self._flow is not None:
             delivered = self.network.stop_flow(self._flow)
-            self._committed_bytes += delivered
+            soa = self._soa
+            soa.cm_committed[self._cid] += delivered
+            soa.cm_flow[self._cid] = -1
             self._flow = None
         self.state = PaymentChannelState.CLOSED
         self.closed_at = self.engine.now
@@ -146,22 +195,26 @@ class PaymentChannel:
         Exact under the piecewise-constant rate model; used on the auction
         hot path where thousands of contenders are compared per second.
         """
+        soa = self._soa
+        cid = self._cid
         in_flight = 0.0
-        flow = self._flow
-        if flow is not None:
-            in_flight = flow.delivered_bytes
-            dt = now - flow._last_integration
-            if dt > 0 and flow.rate_bps > 0:
-                extra = flow.rate_bps * dt / 8.0
-                if flow.size_bytes is not None:
-                    extra = min(extra, flow.size_bytes - flow.delivered_bytes)
+        fid = soa.cm_flow[cid]
+        if fid >= 0:
+            delivered = soa.fm_delivered[fid]
+            in_flight = delivered
+            rate = soa.fm_rate[fid]
+            dt = now - soa.fm_last[fid]
+            if dt > 0 and rate > 0:
+                extra = rate * dt / 8.0
+                # f_size encodes "unbounded" as inf, so min() is always safe.
+                extra = min(extra, soa.fm_size[fid] - delivered)
                 in_flight += extra
-        return self._committed_bytes + in_flight - self._consumed_bytes
+        return soa.cm_committed[cid] + in_flight - soa.cm_consumed[cid]
 
     def consume(self) -> float:
         """Zero the current bid (quantum auction, §5) and return what it was."""
         amount = self.balance()
-        self._consumed_bytes += amount
+        self._soa.cm_consumed[self._cid] += amount
         self._notify_bid_change()
         return amount
 
@@ -179,9 +232,13 @@ class PaymentChannel:
 
     def _rate_changed(self, flow: Flow) -> None:
         # Fired by the fluid network's flush when it re-rates the in-flight
-        # POST: the bid keeps its value but changes slope.
+        # POST: the bid keeps its value but changes slope.  (The bid-change
+        # notification is inlined — this fires once per re-rate of every
+        # in-flight POST, the hottest callback in the simulator.)
         if flow is self._flow:
-            self._notify_bid_change()
+            callback = self.on_bid_change
+            if callback is not None:
+                callback(self)
 
     def _start_post(self) -> None:
         if self.state != PaymentChannelState.PAYING:
@@ -197,6 +254,7 @@ class PaymentChannel:
         flow.owner = self
         flow.on_rate_change = self._rate_changed
         self._flow = flow
+        self._soa.cm_flow[self._cid] = flow._fid
         if self.slow_start is not None:
             self.slow_start.attach(flow, self._rtt)
         # No bid-change notification here: the new POST starts at rate zero
@@ -206,7 +264,9 @@ class PaymentChannel:
     def _post_done(self, flow: Flow) -> None:
         if flow is not self._flow:  # pragma: no cover - defensive
             return
-        self._committed_bytes += flow.delivered_bytes
+        soa = self._soa
+        soa.cm_committed[self._cid] += flow.delivered_bytes
+        soa.cm_flow[self._cid] = -1
         self._flow = None
         self.posts_completed += 1
         self._notify_bid_change()

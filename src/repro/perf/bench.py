@@ -1,14 +1,15 @@
 """The pinned performance benchmark behind ``speakup-repro bench``.
 
-The harness runs a fixed set of registry scenarios at six scales —
+The harness runs a fixed set of registry scenarios at seven scales —
 ``lan-small`` (the paper's own scale), ``tiers-medium`` (hundreds of
 heterogeneous clients), ``stress-mega`` (thousands of clients, bound on the
 fluid allocator), ``thinner-mega`` (≥50k clients, bound on the
 admission/auction path), ``fleet-mega`` (≥17k clients spread over an
-8-shard thinner fleet, §4.3 scale-out), and ``adaptive-pulse`` (the
+8-shard thinner fleet, §4.3 scale-out), ``adaptive-pulse`` (the
 attack-triggered engagement controller switching speak-up on and off
-around a pulse) — and measures engine throughput
-(events/second)
+around a pulse), and ``soa-mega`` (≥200k clients driving one huge shared
+component through the struct-of-arrays vectorized allocator path) — and
+measures engine throughput (events/second)
 plus the network's hot-path counters
 (:class:`repro.perf.counters.SimCounters`).
 
@@ -124,6 +125,16 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
             bad_clients=30,
             capacity_rps=240.0,
             duration=6.0,
+        ),
+    ),
+    BenchCase(
+        name="soa-mega",
+        scenario="soa-mega",
+        args=dict(),
+        quick_args=dict(
+            good_clients=19500,
+            bad_clients=500,
+            duration=0.05,
         ),
     ),
 )

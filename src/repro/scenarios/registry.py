@@ -13,8 +13,9 @@ Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``adaptive-pulse`` (attack-triggered engagement) and ``layered-lan``
 (rate-limit filter in front of the auction), the sharded-fleet scenarios
 ``fleet-lan`` and ``fleet-mega`` (§4.3 scale-out), and the perf-harness
-workloads ``stress-mega`` (allocator-bound) and ``thinner-mega``
-(auction-bound, ≥50k clients).
+workloads ``stress-mega`` (allocator-bound), ``thinner-mega``
+(auction-bound, ≥50k clients) and ``soa-mega`` (array-bound, ≥200k clients
+through the struct-of-arrays vectorized allocator path).
 """
 
 from __future__ import annotations
@@ -933,6 +934,70 @@ def thinner_mega(
     return ScenarioSpec(
         name="thinner-mega",
         topology=TopologySpec(kind="lan", thinner_bandwidth_bps=thinner_bandwidth),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+    )
+
+
+@register("soa-mega")
+def soa_mega(
+    good_clients: int = 199500,
+    bad_clients: int = 500,
+    capacity_rps: float = 400.0,
+    defense: str = "speakup",
+    good_rate: float = 0.02,
+    bad_rate: float = 40.0,
+    bad_window: int = 1,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    thinner_bandwidth_bps: float = 400 * MBIT,
+    duration: float = 0.1,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Perf-harness array workload: ≥200k clients, one saturated payment sink.
+
+    Not a paper figure — this is the ``repro.cli bench`` *struct-of-arrays*
+    mega scale, complementing ``stress-mega`` (many small components) and
+    ``thinner-mega`` (admission-bound).  Two hundred thousand clients sit on
+    one switch; unlike ``thinner-mega`` the thinner's access link is
+    deliberately *under*-provisioned (``thinner_bandwidth_bps`` defaults to
+    a fraction of the payment fleet's aggregate uplink), so the concurrent
+    payment POSTs from the bad cohort over-subscribe it and every re-rate
+    touches one huge shared component.  That drives components far past
+    :attr:`~repro.simnet.network.FluidNetwork.VEC_MIN_COMPONENT` straight
+    down the vectorized waterfill and array re-rate path, which is exactly
+    the regime the struct-of-arrays layout exists for: per-event cost must
+    stay bounded by the *array* work, not by 200k Python objects.  The good
+    cohort trickles requests at ``good_rate`` so admission traffic (and the
+    kinetic bid index) stays exercised without drowning the run in
+    arrivals; starting that many mostly-idle clients also pins the batched
+    arrival-pregeneration cost at the 200k scale.
+    """
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=good_rate,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=bad_rate,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="soa-mega",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=thinner_bandwidth_bps),
         groups=groups,
         capacity_rps=capacity_rps,
         defense=defense,

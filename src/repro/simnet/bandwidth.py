@@ -42,6 +42,108 @@ from repro.simnet.link import Link
 RATE_EPSILON = 1e-9
 
 
+def waterfill_lists(
+    caps: list,
+    flow_links: list,
+    remaining: list,
+    unfrozen_on: list,
+) -> list:
+    """Index-based progressive-filling core.
+
+    Flows are ``0..n-1`` (``caps[i]`` the effective ceiling, ``flow_links[i]``
+    the indices into ``remaining`` of the constraint links flow ``i``
+    crosses); ``remaining`` holds the links' capacities and ``unfrozen_on``
+    the per-link unfrozen crossing counts (both consumed in place).  Returns
+    the per-flow rates as a list.  This is the same loop :func:`waterfill`
+    has always run, with the ``Flow``-keyed dicts replaced by positional
+    lists — the allocator's flush calls it directly with dense ids, and the
+    vectorized twin (:func:`repro.simnet.soa.waterfill_arrays`) mirrors it
+    operation for operation.
+    """
+    n = len(caps)
+    inf = float("inf")
+    rates = [0.0] * n
+    frozen = [False] * n
+    unfrozen_count = n
+    current_level = 0.0
+
+    while unfrozen_count > 0:
+        best_level = inf
+        binding_link: int | None = None
+        binding_flow: int | None = None
+        for index, count in enumerate(unfrozen_on):
+            if count > 0:
+                level = current_level + remaining[index] / count
+                if level < best_level:
+                    best_level = level
+                    binding_link = index
+                    binding_flow = None
+        for i in range(n):
+            if not frozen[i]:
+                cap = caps[i]
+                if cap < best_level:
+                    best_level = cap
+                    binding_link = None
+                    binding_flow = i
+
+        if best_level == inf:
+            # No finite constraint at all (cannot happen with real links);
+            # freeze everything at its cap to terminate.
+            for i in range(n):
+                if not frozen[i]:
+                    rates[i] = caps[i]
+                    frozen[i] = True
+            break
+
+        increment = max(0.0, best_level - current_level)
+        if increment > 0:
+            for i in range(n):
+                if frozen[i]:
+                    continue
+                rates[i] += increment
+                for index in flow_links[i]:
+                    remaining[index] -= increment
+        current_level = best_level
+
+        newly_frozen = []
+        for i in range(n):
+            if frozen[i]:
+                continue
+            if rates[i] >= caps[i] - RATE_EPSILON:
+                newly_frozen.append(i)
+                continue
+            for index in flow_links[i]:
+                if remaining[index] <= RATE_EPSILON:
+                    newly_frozen.append(i)
+                    break
+        if not newly_frozen:
+            # Floating-point residue can leave the binding constraint a hair
+            # above the saturation epsilon; freeze exactly the flows the
+            # binding constraint limits so progress (and work conservation)
+            # are preserved rather than freezing everything.
+            if binding_flow is not None:
+                newly_frozen = [binding_flow]
+            elif binding_link is not None:
+                newly_frozen = [
+                    i
+                    for i in range(n)
+                    if not frozen[i] and binding_link in flow_links[i]
+                ]
+            else:  # pragma: no cover - defensive termination
+                newly_frozen = [i for i in range(n) if not frozen[i]]
+
+        for i in newly_frozen:
+            frozen[i] = True
+            unfrozen_count -= 1
+            for index in flow_links[i]:
+                unfrozen_on[index] -= 1
+
+    for i in range(n):
+        if rates[i] < RATE_EPSILON:
+            rates[i] = 0.0
+    return rates
+
+
 def waterfill(
     flows: Sequence[Flow],
     constraint_links: Iterable[Link],
@@ -61,95 +163,19 @@ def waterfill(
     remaining = [link.capacity_bps for link in links]
     unfrozen_on = [0] * len(links)
 
-    # Which constraint links does each flow actually cross?
-    flow_links: Dict[Flow, list[int]] = {}
+    inf = float("inf")
+    caps = []
+    flow_links = []
     for flow in flows:
+        # Which constraint links does the flow actually cross?
         indices = [link_index[link] for link in flow.path if link in link_index]
-        flow_links[flow] = indices
+        flow_links.append(indices)
         for index in indices:
             unfrozen_on[index] += 1
+        caps.append(effective_caps.get(flow, inf))
 
-    rates: Dict[Flow, float] = {flow: 0.0 for flow in flows}
-    frozen: Dict[Flow, bool] = {flow: False for flow in flows}
-    unfrozen_count = len(flows)
-    current_level = 0.0
-
-    while unfrozen_count > 0:
-        best_level = float("inf")
-        binding_link: int | None = None
-        binding_flow: Flow | None = None
-        for index, count in enumerate(unfrozen_on):
-            if count > 0:
-                level = current_level + remaining[index] / count
-                if level < best_level:
-                    best_level = level
-                    binding_link = index
-                    binding_flow = None
-        for flow in flows:
-            if not frozen[flow]:
-                cap = effective_caps.get(flow, float("inf"))
-                if cap < best_level:
-                    best_level = cap
-                    binding_link = None
-                    binding_flow = flow
-
-        if best_level == float("inf"):
-            # No finite constraint at all (cannot happen with real links);
-            # freeze everything at its cap to terminate.
-            for flow in flows:
-                if not frozen[flow]:
-                    rates[flow] = effective_caps.get(flow, float("inf"))
-                    frozen[flow] = True
-            break
-
-        increment = max(0.0, best_level - current_level)
-        if increment > 0:
-            for flow in flows:
-                if frozen[flow]:
-                    continue
-                rates[flow] += increment
-                for index in flow_links[flow]:
-                    remaining[index] -= increment
-        current_level = best_level
-
-        newly_frozen = []
-        for flow in flows:
-            if frozen[flow]:
-                continue
-            cap = effective_caps.get(flow, float("inf"))
-            if rates[flow] >= cap - RATE_EPSILON:
-                newly_frozen.append(flow)
-                continue
-            for index in flow_links[flow]:
-                if remaining[index] <= RATE_EPSILON:
-                    newly_frozen.append(flow)
-                    break
-        if not newly_frozen:
-            # Floating-point residue can leave the binding constraint a hair
-            # above the saturation epsilon; freeze exactly the flows the
-            # binding constraint limits so progress (and work conservation)
-            # are preserved rather than freezing everything.
-            if binding_flow is not None:
-                newly_frozen = [binding_flow]
-            elif binding_link is not None:
-                newly_frozen = [
-                    flow
-                    for flow in flows
-                    if not frozen[flow] and binding_link in flow_links[flow]
-                ]
-            else:  # pragma: no cover - defensive termination
-                newly_frozen = [flow for flow in flows if not frozen[flow]]
-
-        for flow in newly_frozen:
-            frozen[flow] = True
-            unfrozen_count -= 1
-            for index in flow_links[flow]:
-                unfrozen_on[index] -= 1
-
-    for flow in flows:
-        if rates[flow] < RATE_EPSILON:
-            rates[flow] = 0.0
-    return rates
+    rates = waterfill_lists(caps, flow_links, remaining, unfrozen_on)
+    return {flow: rates[i] for i, flow in enumerate(flows)}
 
 
 def max_min_fair_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:

@@ -61,8 +61,16 @@ class Event:
         if self.cancelled or self.fired:
             return
         self.cancelled = True
-        if self._engine is not None:
-            self._engine._note_cancelled()
+        engine = self._engine
+        if engine is not None:
+            # ``Engine._note_cancelled``, inlined: cancellation sits on the
+            # completion-reschedule hot path.
+            engine._cancelled_in_queue += 1
+            if (
+                len(engine._queue) >= engine.COMPACT_MIN_QUEUE
+                and engine._cancelled_in_queue * 2 > len(engine._queue)
+            ):
+                engine._compact()
 
     @property
     def pending(self) -> bool:
@@ -181,7 +189,14 @@ class Engine:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+        # ``schedule_at(self._now + delay, ...)``, inlined — this is the
+        # hottest scheduling entry point (completion reschedules).
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, kwargs or None, engine=self)
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
 
     def call_soon(self, callback: Callable, *args, **kwargs) -> Event:
         """Schedule ``callback`` at the current simulated time."""

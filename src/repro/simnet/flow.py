@@ -5,6 +5,17 @@ request upload, an HTTP response body).  The :class:`~repro.simnet.network.
 FluidNetwork` assigns each active flow a rate (max-min fair share, further
 limited by the flow's own rate cap, which the slow-start model adjusts) and
 integrates delivered bytes whenever rates change.
+
+Since the struct-of-arrays refactor a flow is a *view*: while attached to a
+network its hot numeric state (rate, delivered bytes, integration clock,
+static bound, rate cap) lives in the network's
+:class:`~repro.simnet.soa.SoAStore` row ``_fid``, and the public attributes
+below are properties reading that row.  Detached flows — not yet started, or
+already finished — fall back to plain scalar slots (``_srate`` etc.); the
+network freezes the row's final values back into those slots when the flow
+detaches, so a completed flow's ``delivered_bytes`` stays readable forever
+without holding a row.  Property reads go through the store's memoryviews,
+which hand back plain Python floats — ``numpy.float64`` never escapes.
 """
 
 from __future__ import annotations
@@ -16,6 +27,8 @@ from typing import Callable, Optional
 from repro.errors import FlowError
 from repro.simnet.host import Host
 from repro.simnet.link import Link, path_delay
+
+_INF = float("inf")
 
 
 class FlowState(enum.Enum):
@@ -56,21 +69,23 @@ class Flow:
         "dst",
         "path",
         "size_bytes",
-        "delivered_bytes",
-        "rate_bps",
-        "rate_cap_bps",
         "label",
         "state",
         "started_at",
         "finished_at",
         "on_complete",
         "on_rate_change",
-        "_last_integration",
         "_completion_event",
-        "_path_ids",
+        "_path_lids",
         "_path_min_cap",
-        "_bound",
         "owner",
+        "_fid",
+        "_soa",
+        "_srate",
+        "_sdelivered",
+        "_slast",
+        "_sbound",
+        "_scap",
     )
 
     def __init__(
@@ -94,28 +109,113 @@ class Flow:
         self.dst = dst
         self.path = list(path)
         self.size_bytes = size_bytes
-        self.delivered_bytes = 0.0
-        self.rate_bps = 0.0
-        self.rate_cap_bps = rate_cap_bps
         self.label = label
         self.state = FlowState.CREATED
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.on_complete = on_complete
         self.on_rate_change: Optional[Callable[["Flow"], None]] = None
-        self._last_integration: float = 0.0
         self._completion_event = None
-        #: Immutable per-path precomputations the allocator's hot loops use:
-        #: the links' identities (dict-key ints, paired with ``path`` by
-        #: index) and the narrowest capacity along the path.
-        self._path_ids = tuple(id(link) for link in self.path)
+        #: Dense link ids along the path (paired with ``path`` by index);
+        #: assigned by the network at attach time, when every path link is
+        #: guaranteed to be registered with its store.
+        self._path_lids: tuple = ()
+        #: The narrowest capacity along the path.
         self._path_min_cap = min(link.capacity_bps for link in self.path)
-        #: Static rate bound maintained by the owning network while active:
-        #: ``min(path capacities, rate cap)``.
-        self._bound = 0.0
         #: Arbitrary back-reference for higher layers (e.g. the payment
         #: channel that owns this flow).
         self.owner = None
+        #: Struct-of-arrays row id (-1 while detached) and its store.
+        self._fid = -1
+        self._soa = None
+        # Scalar fallbacks, authoritative while detached.
+        self._srate = 0.0
+        self._sdelivered = 0.0
+        self._slast = 0.0
+        self._sbound = 0.0
+        self._scap = rate_cap_bps
+
+    # -- array-backed state ---------------------------------------------------
+
+    @property
+    def rate_bps(self) -> float:
+        """Currently allocated rate in bits/s."""
+        fid = self._fid
+        if fid >= 0:
+            return self._soa.fm_rate[fid]
+        return self._srate
+
+    @rate_bps.setter
+    def rate_bps(self, value: float) -> None:
+        fid = self._fid
+        if fid >= 0:
+            self._soa.fm_rate[fid] = value
+        else:
+            self._srate = value
+
+    @property
+    def delivered_bytes(self) -> float:
+        """Bytes delivered so far (as of the last integration)."""
+        fid = self._fid
+        if fid >= 0:
+            return self._soa.fm_delivered[fid]
+        return self._sdelivered
+
+    @delivered_bytes.setter
+    def delivered_bytes(self, value: float) -> None:
+        fid = self._fid
+        if fid >= 0:
+            self._soa.fm_delivered[fid] = value
+        else:
+            self._sdelivered = value
+
+    @property
+    def _last_integration(self) -> float:
+        fid = self._fid
+        if fid >= 0:
+            return self._soa.fm_last[fid]
+        return self._slast
+
+    @_last_integration.setter
+    def _last_integration(self, value: float) -> None:
+        fid = self._fid
+        if fid >= 0:
+            self._soa.fm_last[fid] = value
+        else:
+            self._slast = value
+
+    @property
+    def _bound(self) -> float:
+        """Static rate bound maintained by the owning network while active."""
+        fid = self._fid
+        if fid >= 0:
+            return self._soa.fm_bound[fid]
+        return self._sbound
+
+    @_bound.setter
+    def _bound(self, value: float) -> None:
+        fid = self._fid
+        if fid >= 0:
+            self._soa.fm_bound[fid] = value
+        else:
+            self._sbound = value
+
+    @property
+    def rate_cap_bps(self) -> Optional[float]:
+        """The flow's private rate ceiling (``None`` = uncapped)."""
+        fid = self._fid
+        if fid >= 0:
+            cap = self._soa.fm_cap[fid]
+            return None if cap == _INF else cap
+        return self._scap
+
+    @rate_cap_bps.setter
+    def rate_cap_bps(self, value: Optional[float]) -> None:
+        fid = self._fid
+        if fid >= 0:
+            self._soa.fm_cap[fid] = _INF if value is None else value
+        else:
+            self._scap = value
 
     # -- derived quantities -------------------------------------------------
 
@@ -143,7 +243,8 @@ class Flow:
 
     def effective_cap(self) -> float:
         """The flow's own rate ceiling (infinite when uncapped)."""
-        return self.rate_cap_bps if self.rate_cap_bps is not None else float("inf")
+        cap = self.rate_cap_bps
+        return cap if cap is not None else _INF
 
     def uses_link(self, link: Link) -> bool:
         """True if the flow's path crosses ``link``."""

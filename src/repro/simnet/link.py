@@ -51,8 +51,10 @@ class Link:
         "buffer_bytes",
         "_flow_count",
         "_flows",
-        "_potential",
         "_entry_sums",
+        "_lid",
+        "_soa",
+        "_spot",
     )
 
     #: Default drop-tail buffer, sized like a small home-router queue.  Only
@@ -76,13 +78,34 @@ class Link:
         self.buffer_bytes = float(buffer_bytes if buffer_bytes is not None else self.DEFAULT_BUFFER_BYTES)
         self._flow_count = 0
         self._flows: Dict = {}
-        self._potential = 0.0
         self._entry_sums: Dict[int, float] = {}
+        #: Dense id in the owning network's :class:`~repro.simnet.soa.SoAStore`
+        #: (-1 until registered) and the store itself; the potential load
+        #: lives in the store's ``l_pot`` array while registered, in the
+        #: ``_spot`` scalar fallback otherwise.
+        self._lid = -1
+        self._soa = None
+        self._spot = 0.0
 
     @property
     def flow_count(self) -> int:
         """Number of active flows currently crossing this link."""
         return self._flow_count
+
+    @property
+    def _potential(self) -> float:
+        soa = self._soa
+        if soa is not None:
+            return soa.lm_pot[self._lid]
+        return self._spot
+
+    @_potential.setter
+    def _potential(self, value: float) -> None:
+        soa = self._soa
+        if soa is not None:
+            soa.lm_pot[self._lid] = value
+        else:
+            self._spot = value
 
     def max_queueing_delay(self) -> float:
         """Worst-case drop-tail queueing delay (full buffer drained at capacity)."""
@@ -94,8 +117,10 @@ class Link:
         """Forget all allocator state (a new network took over the topology)."""
         self._flow_count = 0
         self._flows = {}
-        self._potential = 0.0
         self._entry_sums = {}
+        self._lid = -1
+        self._soa = None
+        self._spot = 0.0
 
     def _add_entry_load(self, entry: "Link", delta: float) -> None:
         """Shift the load contributed via ``entry`` by ``delta`` bits/s.
@@ -116,7 +141,11 @@ class Link:
         else:
             sums[key] = new
             new_capped = cap if new > cap else new
-        self._potential += new_capped - old_capped
+        soa = self._soa
+        if soa is not None:
+            soa.lm_pot[self._lid] += new_capped - old_capped
+        else:
+            self._spot += new_capped - old_capped
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

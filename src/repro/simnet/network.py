@@ -31,11 +31,11 @@ flagged (see :mod:`repro.simnet.link`).  A link whose capacity covers its
 potential load can never saturate and never constrains anyone, so the search
 for affected flows only crosses links whose potential load exceeds capacity.
 Rates for the affected component are then recomputed with progressive
-filling (:func:`repro.simnet.bandwidth.waterfill`); everything outside the
-component keeps its previous, still-valid rate.  The brute-force global
-computation (:func:`repro.simnet.bandwidth.max_min_fair_rates`) remains
-available both as a reference for the property-based tests and as an
-``incremental=False`` escape hatch.
+filling; everything outside the component keeps its previous, still-valid
+rate.  The brute-force global computation
+(:func:`repro.simnet.bandwidth.max_min_fair_rates`) remains available both
+as a reference for the property-based tests and as an ``incremental=False``
+escape hatch.
 
 Steady-state traffic recomputes the *same* component shapes over and over
 (one more identical payment POST on an otherwise unchanged uplink), so the
@@ -44,6 +44,18 @@ which constraint links it spans and, per flow, which of them it crosses and
 its rate ceiling.  Flows with identical structure provably receive identical
 max-min rates, so cached rate vectors can be re-applied positionally to a
 sorted view of the component without re-running the waterfill.
+
+Since the struct-of-arrays refactor the hot numeric state (flow rates, caps
+and paths; link capacities and potential loads; payment counters) lives in a
+:class:`~repro.simnet.soa.SoAStore` owned by the network, with the
+``Flow``/``Link`` objects as thin views.  The flush then has two
+bit-identical implementations: the historical per-object loops (always used
+below :attr:`FluidNetwork.VEC_MIN_COMPONENT` flows, or everywhere when
+``vectorized=False``), and an array path that recomputes a large component
+with numpy segment operations (:meth:`_flush_component_vec`).  Both produce
+the same rates, the same event stream and the same counters; the split
+exists purely because numpy's per-call overhead loses to plain Python on
+the small components that dominate steady state.
 
 Propagation delays are *not* folded into byte accounting — they are exposed
 via :meth:`FluidNetwork.rtt` and the higher layers (thinner, clients, HTTP
@@ -56,13 +68,16 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.errors import FlowError
 from repro.perf.counters import SimCounters
-from repro.simnet.bandwidth import RATE_EPSILON, max_min_fair_rates, waterfill
+from repro.simnet.bandwidth import RATE_EPSILON, max_min_fair_rates, waterfill_lists
 from repro.simnet.engine import Engine
 from repro.simnet.flow import Flow, FlowState
 from repro.simnet.host import Host
 from repro.simnet.link import Link
+from repro.simnet.soa import SoAStore, waterfill_arrays
 from repro.simnet.topology import Topology
 from repro.simnet.trace import Tracer
 
@@ -92,12 +107,23 @@ class FluidNetwork:
     #: bends — wide components recomputed repeatedly in steady state.
     RATE_CACHE_MIN_FLOWS = 16
 
+    #: Components at least this wide take the vectorized recompute path
+    #: (when ``vectorized=True``); below it, numpy call overhead loses to
+    #: the plain loops.  Both paths are bit-identical, so this is purely a
+    #: performance knob.
+    VEC_MIN_COMPONENT = 64
+
+    #: :meth:`sync` integrates the whole active set in one array pass at or
+    #: above this many flows.
+    VEC_MIN_SYNC = 512
+
     def __init__(
         self,
         engine: Engine,
         topology: Topology,
         tracer: Optional[Tracer] = None,
         incremental: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.engine = engine
         self.topology = topology
@@ -105,17 +131,25 @@ class FluidNetwork:
         #: When False, every change triggers a global recomputation (slower,
         #: used as a cross-check in tests).
         self.incremental = incremental
+        #: When False, the array-based recompute paths are disabled and the
+        #: historical per-object loops run everywhere (the "object path" the
+        #: equivalence tests drive); results are bit-identical either way.
+        self.vectorized = vectorized
+
+        #: The struct-of-arrays store backing flows, links and channels.
+        self.soa = SoAStore()
 
         self._active: Dict[Flow, None] = {}
         #: Hot-path instrumentation (see :mod:`repro.perf.counters`).
         self.counters = SimCounters()
 
         # Dirty-set state for the deferred, batched rate recomputation.
+        # Seeds are keyed by the links' dense store ids.
         self._dirty = False
         self._dirty_seeds: Dict[int, Link] = {}
         self._dirty_pre: Set[int] = set()
         self._dirty_flows: Dict[Flow, None] = {}
-        self._rate_cache: "OrderedDict[tuple, Tuple[float, ...]]" = OrderedDict()
+        self._rate_cache: "OrderedDict[tuple, object]" = OrderedDict()
 
         self.total_delivered_bytes = 0.0
         self.completed_flows = 0
@@ -125,18 +159,24 @@ class FluidNetwork:
         self._reset_link_state()
 
     def _reset_link_state(self) -> None:
-        """Clear allocator bookkeeping on every link of the topology.
+        """Clear allocator bookkeeping on every link and register it with
+        this network's store.
 
-        Links carry their runtime state in ``__slots__`` (see
-        :mod:`repro.simnet.link`); a topology handed to a fresh network may
-        have been driven by a previous one.
+        A topology handed to a fresh network may have been driven by a
+        previous one; registration assigns new dense ids in the new store.
         """
+        soa = self.soa
         for host in self.topology.hosts:
-            host.access.up._reset_runtime()
-            host.access.down._reset_runtime()
+            access = host.access
+            access.up._reset_runtime()
+            soa.register_link(access.up)
+            access.down._reset_runtime()
+            soa.register_link(access.down)
         for cable in self.topology.shared_links:
             cable.up._reset_runtime()
+            soa.register_link(cable.up)
             cable.down._reset_runtime()
+            soa.register_link(cable.down)
 
     # -- queries ---------------------------------------------------------------
 
@@ -186,10 +226,11 @@ class FluidNetwork:
             raise FlowError(f"flow {flow.flow_id} has already finished ({flow.state.value})")
         flow.state = FlowState.ACTIVE
         flow.started_at = self.engine.now
-        flow._last_integration = self.engine.now
+        flow._slast = self.engine.now
 
-        self._note_change(flow.path, flow)
-        self._attach(flow)
+        lids = self._ensure_path_lids(flow)
+        self._note_change(flow.path, lids, flow)
+        self._attach(flow, lids)
         if self.tracer is not None:
             self.tracer.record(
                 "flow_start",
@@ -231,7 +272,7 @@ class FluidNetwork:
         if flow.state != FlowState.ACTIVE:
             return flow.delivered_bytes
         self._integrate(flow)
-        self._note_change(flow.path)
+        self._note_change(flow.path, flow._path_lids)
         self._detach(flow, FlowState.STOPPED)
         self.stopped_flows += 1
         if self.tracer is not None:
@@ -248,31 +289,43 @@ class FluidNetwork:
         """Change a flow's private rate ceiling (slow-start ramp) and mark it dirty."""
         if rate_cap_bps is not None and rate_cap_bps <= 0:
             raise FlowError(f"rate cap must be positive or None, got {rate_cap_bps}")
-        if flow.rate_cap_bps == rate_cap_bps:
+        fid = flow._fid
+        if fid < 0:
+            # Detached (not yet started, or already finished): the scalar
+            # slot is authoritative and no load bookkeeping exists to shift.
+            if flow._scap != rate_cap_bps:
+                flow._scap = rate_cap_bps
             return
-        flow.rate_cap_bps = rate_cap_bps
-        if flow.state != FlowState.ACTIVE:
+        soa = self.soa
+        encoded = _INF if rate_cap_bps is None else rate_cap_bps
+        if soa.fm_cap[fid] == encoded:
             return
+        soa.fm_cap[fid] = encoded
         path = flow.path
-        self._note_change(path, flow)
-        old_bound = flow._bound
+        lids = flow._path_lids
+        self._note_change(path, lids, flow)
+        old_bound = soa.fm_bound[fid]
         new_bound = flow._path_min_cap
         if rate_cap_bps is not None and rate_cap_bps < new_bound:
             new_bound = rate_cap_bps
         if new_bound != old_bound:
-            flow._bound = new_bound
+            soa.fm_bound[fid] = new_bound
             delta = new_bound - old_bound
             entry = path[0]
-            entry._potential += delta
-            for link in path[1:]:
-                link._add_entry_load(entry, delta)
+            soa.lm_pot[lids[0]] += delta
+            for i in range(1, len(path)):
+                path[i]._add_entry_load(entry, delta)
 
     def sync(self) -> None:
         """Flush pending rate updates, then bring every active flow's
         ``delivered_bytes`` up to the current time."""
         self._flush_rates()
-        for flow in self._active:
-            self._integrate(flow)
+        active = self._active
+        if self.vectorized and len(active) >= self.VEC_MIN_SYNC:
+            self._integrate_all_vec()
+        else:
+            for flow in active:
+                self._integrate(flow)
 
     def delivered_bytes(self, flow: Flow) -> float:
         """Delivered bytes of ``flow`` as of now (integrating if still active).
@@ -287,7 +340,19 @@ class FluidNetwork:
 
     # -- bookkeeping internals ------------------------------------------------------
 
-    def _note_change(self, path: List[Link], flow: Optional[Flow] = None) -> None:
+    def _ensure_path_lids(self, flow: Flow) -> tuple:
+        """Register any unregistered path links and cache the dense ids."""
+        soa = self.soa
+        lids: List[int] = []
+        for link in flow.path:
+            if link._soa is not soa:
+                soa.register_link(link)
+            lids.append(link._lid)
+        out = tuple(lids)
+        flow._path_lids = out
+        return out
+
+    def _note_change(self, path: List[Link], lids: tuple, flow: Optional[Flow] = None) -> None:
         """Record a flow-set change: O(path), no recomputation.
 
         Must run *before* the change mutates the load bookkeeping — the
@@ -299,11 +364,11 @@ class FluidNetwork:
         seeds = self._dirty_seeds
         pre = self._dirty_pre
         slack = _CAPACITY_SLACK
-        for link in path:
-            lid = id(link)
+        pot = self.soa.lm_pot
+        for lid, link in zip(lids, path):
             if lid not in seeds:
                 seeds[lid] = link
-            if link._potential > link.capacity_bps + slack:
+            if pot[lid] > link.capacity_bps + slack:
                 pre.add(lid)
         if flow is not None:
             self._dirty_flows[flow] = None
@@ -311,61 +376,105 @@ class FluidNetwork:
             self._dirty = True
             self.engine.request_flush()
 
-    def _attach(self, flow: Flow) -> None:
+    def _attach(self, flow: Flow, lids: tuple) -> None:
         self._active[flow] = None
         path = flow.path
         bound = flow._path_min_cap
-        cap = flow.rate_cap_bps
+        cap = flow._scap
         if cap is not None and cap < bound:
             bound = cap
-        flow._bound = bound
+        flow._sbound = bound
+        soa = self.soa
+        soa.acquire_flow(flow, lids)
+        flow._soa = soa
+        pot = soa.lm_pot
         entry = path[0]
         entry._flows[flow] = None
         entry._flow_count += 1
-        entry._potential += bound
-        for link in path[1:]:
+        pot[lids[0]] += bound
+        for i in range(1, len(path)):
+            link = path[i]
             link._flows[flow] = None
             link._flow_count += 1
             link._add_entry_load(entry, bound)
 
     def _detach(self, flow: Flow, final_state: FlowState) -> None:
         self._active.pop(flow, None)
+        soa = self.soa
+        fid = flow._fid
         path = flow.path
-        bound = flow._bound
-        flow._bound = 0.0
+        lids = flow._path_lids
+        pot = soa.lm_pot
+        bound = soa.fm_bound[fid]
+        soa.fm_bound[fid] = 0.0
         entry = path[0]
         entry._flows.pop(flow, None)
         entry._flow_count -= 1
-        entry._potential -= bound
+        pot[lids[0]] -= bound
         if not entry._flows:
-            entry._potential = 0.0
+            pot[lids[0]] = 0.0
             entry._entry_sums.clear()
-        for link in path[1:]:
+        for i in range(1, len(path)):
+            link = path[i]
             link._flows.pop(flow, None)
             link._flow_count -= 1
             link._add_entry_load(entry, -bound)
             if not link._flows:
-                link._potential = 0.0
+                pot[lids[i]] = 0.0
                 link._entry_sums.clear()
         flow.state = final_state
         flow.finished_at = self.engine.now
-        flow.rate_bps = 0.0
-        if flow._completion_event is not None:
-            flow._completion_event.cancel()
+        soa.fm_rate[fid] = 0.0
+        event = flow._completion_event
+        if event is not None:
+            event.cancel()
             flow._completion_event = None
+        soa.release_flow(flow)
 
     def _integrate(self, flow: Flow) -> None:
         now = self.engine.now
-        dt = now - flow._last_integration
-        if dt > 0 and flow.rate_bps > 0:
-            delivered = flow.rate_bps * dt / 8.0
-            if flow.size_bytes is not None:
-                remaining = flow.size_bytes - flow.delivered_bytes
-                if delivered > remaining:
-                    delivered = remaining
-            flow.delivered_bytes += delivered
-            self.total_delivered_bytes += delivered
-        flow._last_integration = now
+        soa = self.soa
+        fid = flow._fid
+        f_last = soa.fm_last
+        dt = now - f_last[fid]
+        if dt > 0:
+            rate = soa.fm_rate[fid]
+            if rate > 0:
+                delivered = rate * dt / 8.0
+                size = flow.size_bytes
+                if size is not None:
+                    remaining = size - soa.fm_delivered[fid]
+                    if delivered > remaining:
+                        delivered = remaining
+                soa.fm_delivered[fid] += delivered
+                self.total_delivered_bytes += delivered
+        f_last[fid] = now
+
+    def _integrate_all_vec(self) -> None:
+        """One array pass over every active flow (same math as ``_integrate``)."""
+        active = self._active
+        n = len(active)
+        if not n:
+            return
+        soa = self.soa
+        now = self.engine.now
+        fids = np.fromiter((f._fid for f in active), dtype=np.int64, count=n)
+        last = soa.f_last[fids]
+        rate = soa.f_rate[fids]
+        dt = now - last
+        live = (dt > 0) & (rate > 0)
+        delivered = np.where(live, rate * dt / 8.0, 0.0)
+        done = soa.f_delivered[fids]
+        remaining = soa.f_size[fids] - done
+        delivered = np.where(delivered > remaining, remaining, delivered)
+        soa.f_delivered[fids] = done + delivered
+        # Accumulate sequentially, in active-set order, to match the scalar
+        # loop bit for bit (adding 0.0 for idle flows is an exact identity).
+        total = self.total_delivered_bytes
+        for value in delivered.tolist():
+            total += value
+        self.total_delivered_bytes = total
+        soa.f_last[fids] = now
 
     def _is_constraining(self, link: Link) -> bool:
         return link._potential > link.capacity_bps + _CAPACITY_SLACK
@@ -394,14 +503,17 @@ class FluidNetwork:
             flows = list(self._active)
             counters.waterfill_calls += 1
             counters.flows_touched += len(flows)
-            self._apply_rates(flows, max_min_fair_rates(flows))
+            rates_map = max_min_fair_rates(flows)
+            self._apply_rates(flows, [rates_map.get(flow, 0.0) for flow in flows])
             return
 
         slack = _CAPACITY_SLACK
+        soa = self.soa
+        pot = soa.lm_pot
         seed_links = [
             link
             for lid, link in seeds.items()
-            if lid in pre or link._potential > link.capacity_bps + slack
+            if lid in pre or pot[lid] > link.capacity_bps + slack
         ]
         component = self._component(seed_links)
         for flow in dirty_flows:
@@ -410,60 +522,79 @@ class FluidNetwork:
         if not component:
             return
         flows = list(component)
+        n = len(flows)
+
+        if self.vectorized and n >= self.VEC_MIN_COMPONENT:
+            self._flush_component_vec(flows)
+            return
 
         # Which links can actually bind the component?
         constraint_links: List[Link] = []
-        constraint_seen: Set[int] = set()
+        link_pos: Dict[int, int] = {}
         for flow in flows:
-            for link in flow.path:
-                lid = id(link)
-                if lid not in constraint_seen and link._potential > link.capacity_bps + slack:
-                    constraint_seen.add(lid)
-                    constraint_links.append(link)
-
-        use_cache = len(flows) >= self.RATE_CACHE_MIN_FLOWS
-
-        # Per-flow ceilings (own cap folded with never-saturating path links)
-        # and, when caching, the component's structural signature.
-        effective_caps: Dict[Flow, float] = {}
-        structs: List[tuple] = []
-        for flow in flows:
-            cap = flow.rate_cap_bps
-            if cap is None:
-                cap = _INF
             path = flow.path
-            ids = flow._path_ids
+            for i, lid in enumerate(flow._path_lids):
+                if lid not in link_pos:
+                    link = path[i]
+                    if pot[lid] > link.capacity_bps + slack:
+                        link_pos[lid] = len(constraint_links)
+                        constraint_links.append(link)
+
+        use_cache = n >= self.RATE_CACHE_MIN_FLOWS
+
+        # Per-flow ceilings (own cap folded with never-saturating path links),
+        # crossed-link index lists and, when caching, the structural signature.
+        f_cap = soa.fm_cap
+        caps: List[float] = []
+        flow_links: List[List[int]] = []
+        unfrozen_on = [0] * len(constraint_links)
+        structs: List[tuple] = []
+        get_pos = link_pos.get
+        for flow in flows:
+            cap = f_cap[flow._fid]
+            path = flow.path
+            lids = flow._path_lids
+            indices: List[int] = []
             if use_cache:
                 crossed: List[int] = []
-                for index in range(len(path)):
-                    lid = ids[index]
-                    if lid in constraint_seen:
+                for i, lid in enumerate(lids):
+                    pos = get_pos(lid)
+                    if pos is not None:
                         crossed.append(lid)
+                        indices.append(pos)
                     else:
-                        capacity = path[index].capacity_bps
+                        capacity = path[i].capacity_bps
                         if capacity < cap:
                             cap = capacity
                 crossed.sort()
                 structs.append((tuple(crossed), cap))
             else:
-                for index in range(len(path)):
-                    if ids[index] not in constraint_seen:
-                        capacity = path[index].capacity_bps
+                for i, lid in enumerate(lids):
+                    pos = get_pos(lid)
+                    if pos is not None:
+                        indices.append(pos)
+                    else:
+                        capacity = path[i].capacity_bps
                         if capacity < cap:
                             cap = capacity
-            effective_caps[flow] = cap
+            for index in indices:
+                unfrozen_on[index] += 1
+            caps.append(cap)
+            flow_links.append(indices)
 
         if not use_cache:
             # Below the cache threshold: cache_hits/misses deliberately not
             # touched, so those counters measure cache traffic alone.
             counters.waterfill_calls += 1
-            counters.flows_touched += len(flows)
-            self._apply_rates(flows, waterfill(flows, constraint_links, effective_caps))
+            counters.flows_touched += n
+            remaining = [link.capacity_bps for link in constraint_links]
+            rates = waterfill_lists(caps, flow_links, remaining, unfrozen_on)
+            self._apply_rates(flows, rates)
             return
 
-        order = sorted(range(len(flows)), key=structs.__getitem__)
+        order = sorted(range(n), key=structs.__getitem__)
         key = (
-            tuple(sorted((id(link), link.capacity_bps) for link in constraint_links)),
+            tuple(sorted((link._lid, link.capacity_bps) for link in constraint_links)),
             tuple(structs[index] for index in order),
         )
         cache = self._rate_cache
@@ -471,24 +602,112 @@ class FluidNetwork:
         if cached is not None:
             cache.move_to_end(key)
             counters.cache_hits += 1
-            rates = {}
+            rates = [0.0] * n
             for position, index in enumerate(order):
-                rates[flows[index]] = cached[position]
+                rates[index] = cached[position]
         else:
             counters.cache_misses += 1
             counters.waterfill_calls += 1
-            counters.flows_touched += len(flows)
-            rates = waterfill(flows, constraint_links, effective_caps)
-            cache[key] = tuple(rates[flows[index]] for index in order)
+            counters.flows_touched += n
+            remaining = [link.capacity_bps for link in constraint_links]
+            rates = waterfill_lists(caps, flow_links, remaining, unfrozen_on)
+            cache[key] = tuple(rates[index] for index in order)
             if len(cache) > self.RATE_CACHE_SIZE:
                 cache.popitem(last=False)
         self._apply_rates(flows, rates)
 
+    def _flush_component_vec(self, flows: List[Flow]) -> None:
+        """Array-path recompute of one (wide) component.
+
+        Mirrors the scalar flush stage by stage: constraint discovery in
+        first-occurrence order (so the waterfill's tie-breaks match the
+        scalar link ordering), effective caps as exact ``min`` folds, the
+        LRU signature canonicalised by sorting (its own key namespace — a
+        component's size determines its path, so scalar and vector keys
+        never mix for the same structure), and the vectorized waterfill of
+        :func:`repro.simnet.soa.waterfill_arrays`.
+        """
+        counters = self.counters
+        soa = self.soa
+        n = len(flows)
+        fids = np.fromiter((flow._fid for flow in flows), dtype=np.int64, count=n)
+        nlinks = len(soa.l_views)
+        width = int(soa.f_plen[fids].max())
+        paths = soa.f_path[fids, :width]
+        valid = paths >= 0
+        padded = np.where(valid, paths, nlinks)
+        cap_ext = np.empty(nlinks + 1)
+        cap_ext[:nlinks] = soa.l_cap[:nlinks]
+        cap_ext[nlinks] = np.inf
+        pot_ext = np.zeros(nlinks + 1)
+        pot_ext[:nlinks] = soa.l_pot[:nlinks]
+        # Constraining occurrences (the sentinel column is never constraining).
+        crossing_con = pot_ext[padded] > cap_ext[padded] + _CAPACITY_SLACK
+        crossing_con &= valid
+        flat = padded[crossing_con]  # row-major == the scalar discovery scan
+        if flat.size:
+            uniq, first = np.unique(flat, return_index=True)
+            con_lids = uniq[np.argsort(first)]
+        else:
+            con_lids = flat
+        m = con_lids.shape[0]
+
+        # Effective caps: own cap folded with non-constraint path capacities.
+        caps = np.where(valid & ~crossing_con, cap_ext[padded], np.inf)
+        eff = np.minimum(soa.f_cap[fids], caps.min(axis=1)) if width else soa.f_cap[fids]
+
+        # CSR of crossed constraint links, local indices in discovery order.
+        lut = np.full(nlinks + 1, -1, dtype=np.int64)
+        lut[con_lids] = np.arange(m, dtype=np.int64)
+        row_counts = crossing_con.sum(axis=1)
+        csr_idx = lut[padded[crossing_con]]
+
+        # Structural signature (always ≥ RATE_CACHE_MIN_FLOWS here): rows of
+        # (sorted crossed lids, padded) + effective cap, lexicographically
+        # ordered; constraint part sorted by lid.  Equal structures yield
+        # equal bytes, so hit/miss behaviour matches the scalar criterion.
+        crossed = np.where(crossing_con, padded, nlinks + 1)
+        crossed.sort(axis=1)
+        sort_keys = [eff]
+        for column in range(width - 1, -1, -1):
+            sort_keys.append(crossed[:, column])
+        order = np.lexsort(sort_keys)
+        con_order = np.argsort(con_lids)
+        key = (
+            con_lids[con_order].tobytes(),
+            cap_ext[con_lids][con_order].tobytes(),
+            crossed[order].tobytes(),
+            eff[order].tobytes(),
+        )
+        cache = self._rate_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            counters.cache_hits += 1
+            rates = np.empty(n)
+            rates[order] = cached
+        else:
+            counters.cache_misses += 1
+            counters.waterfill_calls += 1
+            counters.flows_touched += n
+            remaining = cap_ext[con_lids].copy()
+            unfrozen_on = (
+                np.bincount(csr_idx, minlength=m)
+                if csr_idx.size
+                else np.zeros(m, dtype=np.int64)
+            )
+            rates = waterfill_arrays(eff, remaining, unfrozen_on, csr_idx, row_counts)
+            cache[key] = rates[order].copy()
+            if len(cache) > self.RATE_CACHE_SIZE:
+                cache.popitem(last=False)
+        self._apply_rates_vec(flows, fids, rates)
+
     def _component(self, seed_links: List[Link]) -> Dict[Flow, None]:
         component: Dict[Flow, None] = {}
-        visited = {id(link) for link in seed_links}
+        visited = {link._lid for link in seed_links}
         frontier = list(seed_links)
         slack = _CAPACITY_SLACK
+        pot = self.soa.lm_pot
         while frontier:
             next_frontier: List[Link] = []
             for link in frontier:
@@ -497,46 +716,121 @@ class FluidNetwork:
                         continue
                     component[flow] = None
                     path = flow.path
-                    ids = flow._path_ids
-                    for index in range(len(path)):
-                        oid = ids[index]
-                        if oid not in visited:
-                            other = path[index]
-                            if other._potential > other.capacity_bps + slack:
-                                visited.add(oid)
+                    lids = flow._path_lids
+                    for i, lid in enumerate(lids):
+                        if lid not in visited:
+                            other = path[i]
+                            if pot[lid] > other.capacity_bps + slack:
+                                visited.add(lid)
                                 next_frontier.append(other)
             frontier = next_frontier
         return component
 
-    def _apply_rates(self, flows: List[Flow], rates: Dict[Flow, float]) -> None:
-        for flow in flows:
-            new_rate = rates.get(flow, 0.0)
-            changed = abs(new_rate - flow.rate_bps) > RATE_EPSILON
+    def _apply_rates(self, flows: List[Flow], rates: List[float]) -> None:
+        soa = self.soa
+        f_rate = soa.fm_rate
+        f_last = soa.fm_last
+        f_delivered = soa.fm_delivered
+        now = self.engine.now
+        epsilon = RATE_EPSILON
+        for i, flow in enumerate(flows):
+            new_rate = rates[i]
+            fid = flow._fid
+            old_rate = f_rate[fid]
+            changed = (
+                new_rate - old_rate > epsilon or old_rate - new_rate > epsilon
+            )
             if changed:
-                # Settle what was delivered at the old rate before switching.
-                self._integrate(flow)
-                flow.rate_bps = new_rate
-                if flow.on_rate_change is not None:
-                    flow.on_rate_change(flow)
+                # Settle what was delivered at the old rate before switching
+                # (``_integrate``, inlined — this is the hottest loop).
+                dt = now - f_last[fid]
+                if dt > 0 and old_rate > 0:
+                    delivered = old_rate * dt / 8.0
+                    size = flow.size_bytes
+                    if size is not None:
+                        remaining = size - f_delivered[fid]
+                        if delivered > remaining:
+                            delivered = remaining
+                    f_delivered[fid] += delivered
+                    self.total_delivered_bytes += delivered
+                f_last[fid] = now
+                f_rate[fid] = new_rate
+                callback = flow.on_rate_change
+                if callback is not None:
+                    callback(flow)
             # A flow whose rate did not change keeps its completion event:
             # with a constant rate the absolute completion time is unchanged.
-            if changed or (flow.is_bounded and flow._completion_event is None):
+            if changed or (flow.size_bytes is not None and flow._completion_event is None):
                 self._reschedule_completion(flow)
 
-    def _reschedule_completion(self, flow: Flow) -> None:
-        if flow._completion_event is not None:
-            flow._completion_event.cancel()
-            flow._completion_event = None
-        if not flow.is_bounded or flow.state != FlowState.ACTIVE:
+    def _apply_rates_vec(self, flows: List[Flow], fids: np.ndarray, new_rates: np.ndarray) -> None:
+        """Array twin of :meth:`_apply_rates` (same order of effects).
+
+        Integrations land first (in flow order, exactly as the scalar loop
+        interleaves them — nothing between two flows' integrations observes
+        intermediate state), then the per-flow callbacks and completion
+        rescheduling run in the same flow order, creating engine events in
+        the same sequence.
+        """
+        soa = self.soa
+        old = soa.f_rate[fids]
+        changed = np.abs(new_rates - old) > RATE_EPSILON
+        now = self.engine.now
+        touched = np.flatnonzero(changed)
+        if touched.size:
+            cf = fids[touched]
+            dt = now - soa.f_last[cf]
+            rate = old[touched]
+            live = (dt > 0) & (rate > 0)
+            delivered = np.where(live, rate * dt / 8.0, 0.0)
+            done = soa.f_delivered[cf]
+            remaining = soa.f_size[cf] - done
+            delivered = np.where(delivered > remaining, remaining, delivered)
+            soa.f_delivered[cf] = done + delivered
+            total = self.total_delivered_bytes
+            for value in delivered.tolist():
+                total += value
+            self.total_delivered_bytes = total
+            soa.f_last[cf] = now
+            soa.f_rate[cf] = new_rates[touched]
+        action = changed | ((soa.f_size[fids] != np.inf) & ~soa.f_event[fids])
+        if not action.any():
             return
-        remaining = flow.size_bytes - flow.delivered_bytes
+        changed_list = changed.tolist()
+        for i in np.flatnonzero(action).tolist():
+            flow = flows[i]
+            if changed_list[i]:
+                callback = flow.on_rate_change
+                if callback is not None:
+                    callback(flow)
+            self._reschedule_completion(flow)
+
+    def _reschedule_completion(self, flow: Flow) -> None:
+        event = flow._completion_event
+        if event is not None:
+            event.cancel()
+            flow._completion_event = None
+        size = flow.size_bytes
+        soa = self.soa
+        fid = flow._fid
+        if size is None or flow.state != FlowState.ACTIVE:
+            if fid >= 0:
+                soa.fm_event[fid] = False
+            return
+        remaining = size - soa.fm_delivered[fid]
         if remaining <= BYTES_EPSILON:
             # Completed exactly at this instant; finish via an immediate event
             # so the caller of the triggering operation returns first.
             flow._completion_event = self.engine.call_soon(self._complete, flow)
-        elif flow.rate_bps > RATE_EPSILON:
-            eta = remaining * 8.0 / flow.rate_bps
+            soa.fm_event[fid] = True
+            return
+        rate = soa.fm_rate[fid]
+        if rate > RATE_EPSILON:
+            eta = remaining * 8.0 / rate
             flow._completion_event = self.engine.schedule_after(eta, self._complete, flow)
+            soa.fm_event[fid] = True
+        else:
+            soa.fm_event[fid] = False
 
     def _complete(self, flow: Flow) -> None:
         if flow.state != FlowState.ACTIVE:
@@ -548,7 +842,7 @@ class FluidNetwork:
             # that changed them already rescheduled us, so just bail out.
             return
         flow.delivered_bytes = float(flow.size_bytes)
-        self._note_change(flow.path)
+        self._note_change(flow.path, flow._path_lids)
         self._detach(flow, FlowState.COMPLETED)
         self.completed_flows += 1
         if self.tracer is not None:
@@ -567,10 +861,20 @@ class FluidNetwork:
     def aggregate_rate_bps(self, predicate: Optional[Callable[[Flow], bool]] = None) -> float:
         """Sum of current rates over active flows matching ``predicate``."""
         self._flush_rates()
+        active = self._active
         total = 0.0
-        for flow in self._active:
-            if predicate is None or predicate(flow):
-                total += flow.rate_bps
+        if not active:
+            return total
+        n = len(active)
+        fids = np.fromiter((flow._fid for flow in active), dtype=np.int64, count=n)
+        rates = self.soa.f_rate[fids].tolist()
+        if predicate is None:
+            for rate in rates:
+                total += rate
+        else:
+            for flow, rate in zip(active, rates):
+                if predicate(flow):
+                    total += rate
         return total
 
     def flows_on(self, link: Link) -> List[Flow]:

@@ -26,14 +26,26 @@ class Topology:
         self._hosts: Dict[str, Host] = {}
         self._via: Dict[str, List[DuplexLink]] = {}
         self._shared: Dict[str, DuplexLink] = {}
+        # Route and delay memos: topologies are static star shapes queried
+        # millions of times (every flow start builds a path, every
+        # encouragement computes a delay), so both are cached per endpoint
+        # pair and invalidated whenever the shape changes.  Link delays and
+        # host-attributed delays are immutable after construction.
+        self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._delay_cache: Dict[Tuple[str, str], float] = {}
 
     # -- construction -----------------------------------------------------------
+
+    def _invalidate_routes(self) -> None:
+        self._path_cache.clear()
+        self._delay_cache.clear()
 
     def add_shared_link(self, link: DuplexLink) -> DuplexLink:
         """Register a shared cable so it can be referenced by name."""
         if link.name in self._shared:
             raise TopologyError(f"shared link {link.name!r} already exists")
         self._shared[link.name] = link
+        self._invalidate_routes()
         return link
 
     def add_host(self, host: Host, via: Optional[Sequence[DuplexLink]] = None) -> Host:
@@ -46,6 +58,7 @@ class Topology:
             if link.name not in self._shared:
                 self._shared[link.name] = link
         self._via[host.name] = chain
+        self._invalidate_routes()
         return host
 
     # -- lookups ---------------------------------------------------------------
@@ -90,15 +103,41 @@ class Topology:
         return [cable.down for cable in reversed(self._via[host.name])] + [host.access.down]
 
     def path(self, src: Host, dst: Host) -> List[Link]:
-        """Directed links a flow from ``src`` to ``dst`` crosses."""
+        """Directed links a flow from ``src`` to ``dst`` crosses.
+
+        Callers must treat the returned list as read-only (it is a shared
+        memo; :class:`~repro.simnet.flow.Flow` copies it anyway).
+        """
         if src is dst:
             raise TopologyError(f"flow endpoints must differ (got {src.name!r} twice)")
-        return self.upstream_links(src) + self.downstream_links(dst)
+        key = (src.name, dst.name)
+        cached = self._path_cache.get(key)
+        # The memo is keyed by name; verify identity so a stale host object
+        # with a reused name still raises like the uncached lookup would.
+        if (
+            cached is not None
+            and self._hosts.get(src.name) is src
+            and self._hosts.get(dst.name) is dst
+        ):
+            return cached
+        links = self.upstream_links(src) + self.downstream_links(dst)
+        self._path_cache[key] = links
+        return links
 
     def one_way_delay(self, src: Host, dst: Host) -> float:
         """Propagation delay from ``src`` to ``dst``, including host-attributed delay."""
+        key = (src.name, dst.name)
+        cached = self._delay_cache.get(key)
+        if (
+            cached is not None
+            and self._hosts.get(src.name) is src
+            and self._hosts.get(dst.name) is dst
+        ):
+            return cached
         links = self.path(src, dst)
-        return sum(link.delay_s for link in links) + src.extra_delay_s + dst.extra_delay_s
+        delay = sum(link.delay_s for link in links) + src.extra_delay_s + dst.extra_delay_s
+        self._delay_cache[key] = delay
+        return delay
 
     def rtt(self, a: Host, b: Host) -> float:
         """Round-trip propagation delay between two hosts."""

@@ -96,6 +96,40 @@ def test_client_streams_are_distinct_per_name():
     assert deployment.client_stream("client-a") is a
 
 
+def test_gc_reenabled_even_when_run_raises():
+    """``run`` pauses GC around the engine loop but must restore it on error."""
+    import gc
+
+    deployment, _hosts = build()
+    assert deployment.config.pause_gc_during_run
+
+    boom = RuntimeError("engine exploded")
+
+    def exploding(_flow=None):
+        raise boom
+
+    deployment.engine.schedule_after(0.5, exploding)
+    assert gc.isenabled()
+    with pytest.raises(RuntimeError) as excinfo:
+        deployment.run(1.0)
+    assert excinfo.value is boom
+    assert gc.isenabled(), "a failing run must not leave the GC disabled"
+
+
+def test_gc_left_alone_when_already_disabled():
+    """``run`` only re-enables GC it disabled itself."""
+    import gc
+
+    deployment, _hosts = build()
+    assert gc.isenabled()
+    gc.disable()
+    try:
+        deployment.run(0.5)
+        assert not gc.isenabled(), "run must not enable GC the caller disabled"
+    finally:
+        gc.enable()
+
+
 def test_aggregate_bandwidth_by_class():
     from repro.clients.bad import BadClient
     from repro.clients.good import GoodClient

@@ -45,6 +45,9 @@ SMALL_SCENARIO_KWARGS = {
     "thinner-mega": dict(good_clients=3, flash_clients=2, bad_clients=2,
                          bad_rate=8.0, bad_window=3, capacity_rps=10.0,
                          duration=6.0),
+    "soa-mega": dict(good_clients=3, bad_clients=3, good_rate=2.0,
+                     bad_rate=8.0, bad_window=2, capacity_rps=10.0,
+                     duration=6.0),
 }
 
 
