@@ -120,6 +120,33 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--admission", default="partitioned",
                        help="admission mode (partitioned, pooled)")
 
+    failover = subparsers.add_parser(
+        "failover",
+        help="mid-run shard kill/heal: good-client service dip and recovery",
+        description=(
+            "Run the fleet-failover scenario (the lan mix on a sharded "
+            "fleet) with a fault plan that kills one shard mid-run and "
+            "heals it later, and report the good clients' service rate "
+            "before the kill, through the outage, and after the heal."
+        ),
+    )
+    _add_scale_arguments(failover)
+    failover.add_argument("--shards", type=int, default=4,
+                          help="fleet size (must be > 1)")
+    failover.add_argument("--policy", default="hash",
+                          help="shard dispatch policy (hash, least-loaded, random)")
+    failover.add_argument("--admission", default="pooled",
+                          help="admission mode (pooled, partitioned); pooled keeps "
+                               "full capacity reachable after the kill")
+    failover.add_argument("--kill-shard", type=int, default=1,
+                          help="which shard dies")
+    failover.add_argument("--kill-at", type=float, default=None, metavar="S",
+                          help="kill time (default: a third of the run)")
+    failover.add_argument("--heal-at", type=float, default=None, metavar="S",
+                          help="heal time (default: two thirds of the run)")
+    failover.add_argument("--repin-ttl", type=float, default=2.0, metavar="S",
+                          help="max DNS-style re-pin lag per orphaned client")
+
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
 
@@ -483,6 +510,22 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             admission_mode=args.admission,
         )
         print(format_fleet(rows))
+        return 0
+
+    if args.command == "failover":
+        from repro.experiments.failover import failover_pulse, format_failover
+
+        outcome = failover_pulse(
+            _scale_from(args),
+            shards=args.shards,
+            shard_policy=args.policy,
+            admission_mode=args.admission,
+            kill_shard=args.kill_shard,
+            kill_at_s=args.kill_at,
+            heal_at_s=args.heal_at,
+            repin_ttl_s=args.repin_ttl,
+        )
+        print(format_failover(outcome))
         return 0
 
     scale = _scale_from(args)

@@ -144,6 +144,13 @@ class BaseClient:
         self.channels: Dict[int, PaymentChannel] = {}
         self._started = False
         self._sweep_event = None
+        #: Request uploads still on the wire (request_id -> (request, flow)),
+        #: so a shard kill can abort them with correct accounting.
+        self._inflight: Dict[int, tuple] = {}
+        #: True between the pinned shard's kill and this client's re-pin;
+        #: while set, new arrivals back up in the backlog (and may be denied
+        #: by the normal sweep) instead of being sent to a dead front-end.
+        self._shard_down = False
 
         #: Pregenerated accepted arrival times, oldest first.
         self.arrival_batch = int(arrival_batch)
@@ -260,7 +267,7 @@ class BaseClient:
             size_bytes=self.request_bytes,
         )
         self.stats.issued += 1
-        if self.outstanding < self.window:
+        if self.outstanding < self.window and not self._shard_down:
             self._issue(request)
         else:
             request.state = RequestState.BACKLOGGED
@@ -290,13 +297,18 @@ class BaseClient:
         self.stats.sent += 1
         request.state = RequestState.SENT
         request.sent_at = self.engine.now
-        self.network.send(
+        flow = self.network.send(
             self.host,
             self.thinner_host,
             size_bytes=request.size_bytes,
             label=f"request:{request.request_id}",
-            on_complete=lambda _flow: self.thinner.receive_request(request, self),
+            on_complete=lambda _flow: self._request_delivered(request),
         )
+        self._inflight[request.request_id] = (request, flow)
+
+    def _request_delivered(self, request: Request) -> None:
+        self._inflight.pop(request.request_id, None)
+        self.thinner.receive_request(request, self)
 
     # -- thinner callbacks ------------------------------------------------------------
 
@@ -370,6 +382,8 @@ class BaseClient:
         self.stats.denied += 1
 
     def _drain_backlog(self) -> None:
+        if self._shard_down:
+            return  # nothing to send to until the re-pin lands
         while self.backlog and self.outstanding < self.window:
             request = self.backlog.popleft()
             if request.issued_at + self.backlog_timeout <= self.engine.now:
@@ -381,6 +395,42 @@ class BaseClient:
         channel = self.channels.pop(request.request_id, None)
         if channel is not None and channel.is_open:
             channel.close()
+
+    # -- failover (driven by the fault injector) -------------------------------------
+
+    def shard_failed(self) -> int:
+        """The pinned shard's front-end died: abort in-flight uploads.
+
+        Request uploads still on the wire are stopped (the connection
+        resets), counted as dropped, and reported back as orphans; requests
+        already contending at the thinner are dropped by the thinner itself,
+        so this method must not touch them.  The client stops issuing until
+        :meth:`repin` retargets it.
+        """
+        self._shard_down = True
+        orphaned = 0
+        for request, flow in self._inflight.values():
+            self.network.stop_flow(flow)
+            request.state = RequestState.DROPPED
+            request.drop_reason = "shard-killed"
+            self.outstanding -= 1
+            self.stats.dropped += 1
+            orphaned += 1
+        self._inflight.clear()
+        return orphaned
+
+    def repin(self, shard: int) -> None:
+        """Re-resolve to a surviving shard and resume issuing.
+
+        Called by the fault injector once this client's DNS-TTL re-pin lag
+        expires.  Backlogged arrivals drain immediately (minus any the
+        10-second denial sweep already expired).
+        """
+        self.shard = shard
+        self.thinner = self.deployment.thinners[shard]
+        self.thinner_host = self.deployment.thinner_hosts[shard]
+        self._shard_down = False
+        self._drain_backlog()
 
     # -- end-of-run accounting ---------------------------------------------------------------
 

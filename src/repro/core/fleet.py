@@ -63,9 +63,12 @@ class ShardRouter:
       seeded ``"shard-dispatch"`` stream, i.e. naive DNS round-robin with
       client-side caching.
 
-    Assignments are made once, at client registration, and never migrate —
-    matching §4.3's sketch, where a client resolves to one front-end and
-    keeps paying it.
+    Assignments are made once, at client registration, and never migrate on
+    their own — matching §4.3's sketch, where a client resolves to one
+    front-end and keeps paying it.  The exception is failover: the fault
+    injector marks killed shards dead in the router's liveness mask
+    (:meth:`set_alive`) and :meth:`reassign`\\ s each affected client to a
+    surviving shard once its DNS-TTL re-pin lag expires.
     """
 
     def __init__(
@@ -85,8 +88,46 @@ class ShardRouter:
         self.shards = shards
         self.policy = policy
         self.rng = rng
-        #: Clients assigned to each shard so far (drives ``least-loaded``).
+        #: Clients currently pinned to each shard (drives ``least-loaded``).
         self.counts: List[int] = [0] * shards
+        #: Liveness mask maintained by the fault injector; initial
+        #: assignment ignores it (every shard is alive before the run), but
+        #: :meth:`reassign` only ever lands on live shards.
+        self.alive: List[bool] = [True] * shards
+
+    def set_alive(self, shard: int, alive: bool) -> None:
+        """Mark ``shard`` dead or alive in the dispatch candidate set."""
+        if not 0 <= shard < self.shards:
+            raise ThinnerError(f"shard {shard} out of range for {self.shards} shard(s)")
+        self.alive[shard] = alive
+
+    def live_shards(self) -> List[int]:
+        """Indices of the shards currently in the candidate set."""
+        return [index for index, alive in enumerate(self.alive) if alive]
+
+    def reassign(self, client_name: str, from_shard: int) -> int:
+        """Re-pin a failed-over client to a live shard, policy-consistently.
+
+        ``hash`` rehashes over the live shards (consistent hashing after a
+        node leaves the ring), ``least-loaded`` picks the live shard with the
+        fewest current pins, and ``random`` redraws from the same seeded
+        stream as initial dispatch.  The old pin's count is released so
+        ``least-loaded`` tracks live populations, not history.
+        """
+        live = self.live_shards()
+        if not live:
+            raise ThinnerError("cannot reassign: no live shards")
+        self.counts[from_shard] -= 1
+        if len(live) == 1:
+            index = live[0]
+        elif self.policy == "hash":
+            index = live[zlib.crc32(client_name.encode("utf-8")) % len(live)]
+        elif self.policy == "least-loaded":
+            index = min(live, key=lambda i: (self.counts[i], i))
+        else:  # random
+            index = live[self.rng.randint(0, len(live) - 1)]
+        self.counts[index] += 1
+        return index
 
     def assign(self, client_name: str) -> int:
         """The shard index for ``client_name`` (counts it as assigned)."""
@@ -169,6 +210,9 @@ class PooledAdmission:
         self.views: List[PooledServerView] = []
         self._owner_by_request: dict[int, int] = {}
         self._next_offer = 0
+        #: Liveness mask maintained by the fault injector: dead shards are
+        #: skipped by the round-robin offer loop until healed.
+        self.alive: List[bool] = []
         server.on_request_done = self._request_done
         server.on_ready = self._slot_freed
 
@@ -176,7 +220,30 @@ class PooledAdmission:
         """Create the server view for the next shard."""
         view = PooledServerView(self, len(self.views))
         self.views.append(view)
+        self.alive.append(True)
         return view
+
+    # -- failover hooks (driven by the fault injector) ---------------------------
+
+    def set_alive(self, shard_index: int, alive: bool) -> None:
+        """Mark a shard dead (skipped by slot offers) or alive again."""
+        self.alive[shard_index] = alive
+
+    def reclaim(self, shard_index: int) -> Optional[Request]:
+        """Take back the shared slot if ``shard_index`` currently holds it.
+
+        Returns the in-flight request (for the caller to abort and account)
+        or ``None`` when the slot is free or another shard's.  The owner
+        entry is dropped so a later completion can never route to the dead
+        shard's view.
+        """
+        current = self.server.current
+        if current is None:
+            return None
+        if self._owner_by_request.get(current.request_id) != shard_index:
+            return None
+        del self._owner_by_request[current.request_id]
+        return current
 
     # -- bookkeeping ------------------------------------------------------------
 
@@ -201,6 +268,8 @@ class PooledAdmission:
         count = len(self.views)
         for step in range(count):
             index = (self._next_offer + step) % count
+            if not self.alive[index]:
+                continue  # dead shards sit out the rotation until healed
             view = self.views[index]
             if view.on_ready is not None:
                 view.on_ready()

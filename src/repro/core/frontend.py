@@ -37,7 +37,7 @@ from repro.constants import (
     SERVICE_TIME_JITTER,
     SUSPEND_ABORT_TIMEOUT,
 )
-from repro.errors import DefenseError, ExperimentError
+from repro.errors import DefenseError, ExperimentError, FaultError
 from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES, PooledAdmission, ShardRouter
 from repro.core.payment import PaymentChannel
 from repro.core.thinner import ThinnerBase
@@ -54,6 +54,8 @@ from repro.simnet.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.defenses.base import Defense
     from repro.defenses.spec import DefenseSpec
+    from repro.faults.injector import FaultInjector
+    from repro.faults.spec import FaultPlan
 
 #: Names of the built-in core thinner variants (the historical string
 #: vocabulary; any registered defense name is accepted too).
@@ -125,6 +127,12 @@ class DeploymentConfig:
     #: offers; the quantum thinner is not supported).  Ignored when
     #: ``thinner_shards == 1``.  See :mod:`repro.core.fleet`.
     admission_mode: str = "partitioned"
+    #: Scheduled shard kill/heal events (see :mod:`repro.faults`).  ``None``
+    #: or an empty :class:`~repro.faults.spec.FaultPlan` builds no injector
+    #: and keeps the run byte-identical to a fault-free deployment; a plan
+    #: with events needs ``thinner_shards > 1`` and a defense whose thinner
+    #: survives shard death (the quantum variant does not).
+    fault_plan: Optional["FaultPlan"] = None
     #: Model TCP slow start on payment POSTs (disable for speed in huge sweeps).
     model_slow_start: bool = True
     #: Use the struct-of-arrays vectorized recompute paths (large-component
@@ -190,6 +198,23 @@ class DeploymentConfig:
                 "(pooled mode cannot suspend/resume a shared slot another "
                 f"shard may hold); offending defense spec: {spec.to_dict()}"
             )
+        if self.fault_plan is not None and self.fault_plan.events:
+            if self.thinner_shards < 2:
+                raise ExperimentError(
+                    "a fault_plan with events needs thinner_shards > 1 "
+                    "(a single-thinner deployment has nothing to fail over to)"
+                )
+            if not defense.supports_fault_injection():
+                raise ExperimentError(
+                    "this defense does not support fault injection (the "
+                    "quantum thinner's suspended request slices cannot "
+                    "survive a shard kill); drop the fault_plan or pick "
+                    f"another defense; offending defense spec: {spec.to_dict()}"
+                )
+            try:
+                self.fault_plan.validate(self.thinner_shards)
+            except FaultError as error:
+                raise ExperimentError(str(error)) from None
 
 
 class Deployment:
@@ -285,6 +310,19 @@ class Deployment:
 
         self.clients: List = []
         self.duration: Optional[float] = None
+
+        #: The fault injector, or ``None`` for fault-free runs.  Only a plan
+        #: *with events* builds one: an empty plan must add no streams, no
+        #: engine events and no metrics keys (the byte-identity contract the
+        #: empty-plan pin tests enforce).
+        self.fault_injector: Optional["FaultInjector"] = None
+        plan = self.config.fault_plan
+        if plan is not None and plan.events:
+            # Imported lazily for the same layering reason as the defenses.
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(self, plan)
+            self.fault_injector.arm()
 
     # -- construction helpers -----------------------------------------------------
 

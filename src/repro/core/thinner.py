@@ -319,6 +319,15 @@ class ThinnerBase:
         self._server_idle = False
         self.server.submit(request)
 
+    def _pop_owner(self, request_id: int) -> Optional[ClientProtocol]:
+        """Detach and return the client that owns ``request_id`` (if any).
+
+        Part of the failover protocol: the fault injector uses it to notify
+        the owner of an aborted in-slot request.  Proxy thinners (the
+        adaptive engagement controller) override it to search their sides.
+        """
+        return self._owners.pop(request_id, None)
+
     def _drop(self, request: Request, reason: str) -> None:
         """Abandon a contending request and notify its client."""
         contender = self._remove_contender(request.request_id)

@@ -221,6 +221,23 @@ class AdaptiveThinner:
     def contenders(self):
         return self._passthrough.contenders() + self._engaged.contenders()
 
+    # -- failover protocol (what the fault injector drives) ----------------------
+
+    def _drop(self, request: Request, reason: str) -> None:
+        """Route a drop to whichever side holds the contender."""
+        for side in (self._passthrough, self._engaged):
+            if request.request_id in side._contenders:
+                side._drop(request, reason)
+                return
+
+    def _pop_owner(self, request_id: int):
+        """Detach the owning client from whichever side tracked the request."""
+        for side in (self._passthrough, self._engaged):
+            client = side._owners.pop(request_id, None)
+            if client is not None:
+                return client
+        return None
+
     @property
     def stats(self) -> ThinnerStats:
         """Both sides' counters, merged on read."""
@@ -358,6 +375,9 @@ class AdaptiveDefense(Defense):
 
     def supports_pooled_admission(self) -> bool:
         return self.inner.supports_pooled_admission()
+
+    def supports_fault_injection(self) -> bool:
+        return self.inner.supports_fault_injection()
 
     def describe(self) -> str:
         return (

@@ -94,6 +94,16 @@ class Defense:
         """
         return True
 
+    def supports_fault_injection(self) -> bool:
+        """Whether this defense's thinner survives a mid-run shard kill.
+
+        Killing a shard evicts contenders and aborts the in-slot request —
+        bookkeeping every thinner shares.  The quantum variant additionally
+        parks *suspended* request slices on the server, which a kill would
+        strand, so it (and any composite delegating to it) returns False.
+        """
+        return True
+
     def thinner_kwargs(self, deployment, shard: int = 0, server=None) -> dict:
         """The constructor kwargs every :class:`ThinnerBase` variant shares.
 

@@ -135,6 +135,9 @@ class PipelineDefense(Defense):
     def supports_pooled_admission(self) -> bool:
         return self._admission.supports_pooled_admission()
 
+    def supports_fault_injection(self) -> bool:
+        return self._admission.supports_fault_injection()
+
     def describe(self) -> str:
         return "pipeline (" + " > ".join(spec.label() for spec in self.stages) + ")"
 

@@ -56,6 +56,10 @@ class SpeakUpDefense(Defense):
         # ill-defined on a pooled slot another shard may hold.
         return self.variant != "quantum"
 
+    def supports_fault_injection(self) -> bool:
+        # A shard kill would strand the quantum variant's suspended slices.
+        return self.variant != "quantum"
+
     def describe(self) -> str:
         return f"speak-up ({self.variant})"
 

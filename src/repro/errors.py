@@ -47,6 +47,10 @@ class ClientError(ReproError):
     """A workload client was configured or driven incorrectly."""
 
 
+class FaultError(ReproError):
+    """A fault plan is malformed or was injected into an unsupported fleet."""
+
+
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or a run failed to complete."""
 

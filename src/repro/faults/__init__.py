@@ -1,0 +1,6 @@
+"""Deterministic fault injection for sharded thinner fleets (§4.3 failover)."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultEvent, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultPlan"]

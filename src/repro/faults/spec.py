@@ -1,0 +1,159 @@
+"""Fault plans: scheduled shard kill/heal events, as frozen data.
+
+A :class:`FaultPlan` is to failover what a
+:class:`~repro.scenarios.spec.ScenarioSpec` is to a run: a frozen,
+JSON-round-trippable description that can be stored in sweep records,
+compared across runs, and swept over.  The plan itself does nothing — a
+:class:`~repro.faults.injector.FaultInjector` executes it against a live
+deployment off the simulation engine clock.
+
+The compatibility contract, enforced by the empty-plan pin tests: a
+deployment configured with ``FaultPlan()`` (no events) builds no injector,
+creates no random streams, schedules no events, and is therefore
+byte-identical to a deployment with no fault plan at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import FaultError
+
+#: The two things that can happen to a shard mid-run.
+FAULT_ACTIONS = ("kill", "heal")
+
+#: Default DNS-TTL analogue: a failed-over client re-pins after a lag drawn
+#: uniformly from ``[0, repin_ttl_s]`` — its cached resolution is uniformly
+#: aged when the front-end dies, so expiries spread over one TTL.
+DEFAULT_REPIN_TTL = 2.0
+
+#: Default cadence of the injector's good-client service samples, which the
+#: failover experiment turns into a service-through-the-pulse time series.
+DEFAULT_SAMPLE_INTERVAL = 0.25
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled shard fault: ``kill`` or ``heal`` shard ``shard`` at ``at_s``."""
+
+    at_s: float
+    action: str
+    shard: int
+
+    def validate(self, shards: Optional[int] = None) -> None:
+        if self.at_s < 0:
+            raise FaultError(f"fault event time must be non-negative, got {self.at_s}")
+        if self.action not in FAULT_ACTIONS:
+            raise FaultError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+        if self.shard < 0:
+            raise FaultError(f"fault event shard must be non-negative, got {self.shard}")
+        if shards is not None and self.shard >= shards:
+            raise FaultError(
+                f"fault event targets shard {self.shard} but the fleet has "
+                f"only {shards} shard(s)"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_s": self.at_s, "action": self.action, "shard": self.shard}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            at_s=float(data["at_s"]), action=str(data["action"]), shard=int(data["shard"])
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A schedule of shard kill/heal events plus the re-pin lag model.
+
+    ``events`` may arrive in any order; the injector executes them in
+    ``(at_s, declaration order)`` order.  Killing an already-dead shard or
+    healing a live one is a no-op, so randomly generated schedules (the
+    property tests') need no cross-event consistency.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: Re-pin lag TTL: each affected client re-resolves to a surviving shard
+    #: after a per-client lag drawn uniformly from ``[0, repin_ttl_s]`` (the
+    #: dedicated ``"fault-repin"`` stream of the deployment seed).
+    repin_ttl_s: float = DEFAULT_REPIN_TTL
+    #: Cadence of the injector's cumulative good-client service samples.
+    sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL
+
+    def __post_init__(self) -> None:
+        # Tolerate lists for ergonomic construction; freeze to a tuple.
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing (the byte-identical no-op)."""
+        return not self.events
+
+    def validate(self, shards: Optional[int] = None) -> None:
+        """Raise :class:`~repro.errors.FaultError` on a nonsensical plan."""
+        if self.repin_ttl_s < 0:
+            raise FaultError(f"repin_ttl_s must be non-negative, got {self.repin_ttl_s}")
+        if self.sample_interval_s <= 0:
+            raise FaultError(
+                f"sample_interval_s must be positive, got {self.sample_interval_s}"
+            )
+        for event in self.events:
+            event.validate(shards)
+
+    def ordered_events(self) -> Tuple[FaultEvent, ...]:
+        """Events in execution order: by time, declaration order on ties."""
+        return tuple(sorted(self.events, key=lambda event: event.at_s))
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "repin_ttl_s": self.repin_ttl_s,
+            "sample_interval_s": self.sample_interval_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            events=tuple(FaultEvent.from_dict(entry) for entry in data.get("events", [])),
+            repin_ttl_s=float(data.get("repin_ttl_s", DEFAULT_REPIN_TTL)),
+            sample_interval_s=float(
+                data.get("sample_interval_s", DEFAULT_SAMPLE_INTERVAL)
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(payload))
+
+
+def kill_heal_pulse(
+    shard: int,
+    kill_at_s: float,
+    heal_at_s: float,
+    repin_ttl_s: float = DEFAULT_REPIN_TTL,
+    sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL,
+) -> FaultPlan:
+    """The canonical single-shard outage: kill at ``kill_at_s``, heal later."""
+    if heal_at_s <= kill_at_s:
+        raise FaultError(
+            f"heal_at_s ({heal_at_s}) must come after kill_at_s ({kill_at_s})"
+        )
+    return FaultPlan(
+        events=(
+            FaultEvent(at_s=kill_at_s, action="kill", shard=shard),
+            FaultEvent(at_s=heal_at_s, action="heal", shard=shard),
+        ),
+        repin_ttl_s=repin_ttl_s,
+        sample_interval_s=sample_interval_s,
+    )

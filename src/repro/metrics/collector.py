@@ -135,6 +135,74 @@ class EngagementMetrics:
 
 
 @dataclass
+class FailoverMetrics:
+    """What a fault plan did to a run (kills, heals, and their fallout).
+
+    Present only when the deployment ran with a non-empty
+    :class:`~repro.faults.spec.FaultPlan`; fault-free runs carry no
+    failover key at all, keeping their serialised form byte-identical to
+    pre-fault-layer results.
+
+    ``timeline`` holds the executed ``[time, action, shard]`` events in
+    order (no-op kills of dead shards and heals of live ones are not
+    recorded).  ``service_samples`` is the cumulative good-client served
+    count sampled on the plan's cadence, ``[time, served]`` — difference
+    neighbouring samples to get a service rate through the pulse.
+    """
+
+    kills: int = 0
+    heals: int = 0
+    repinned_clients: int = 0
+    orphaned_requests: int = 0
+    timeline: List[List] = field(default_factory=list)
+    service_samples: List[List] = field(default_factory=list)
+
+    @classmethod
+    def from_injector(cls, injector) -> "FailoverMetrics":
+        return cls(
+            kills=injector.kills,
+            heals=injector.heals,
+            repinned_clients=injector.repinned_clients,
+            orphaned_requests=injector.orphaned_requests,
+            timeline=[
+                [float(time), action, int(shard)]
+                for time, action, shard in injector.timeline
+            ],
+            service_samples=[
+                [float(time), int(served)]
+                for time, served in injector.service_samples
+            ],
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kills": self.kills,
+            "heals": self.heals,
+            "repinned_clients": self.repinned_clients,
+            "orphaned_requests": self.orphaned_requests,
+            "timeline": [list(entry) for entry in self.timeline],
+            "service_samples": [list(entry) for entry in self.service_samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailoverMetrics":
+        return cls(
+            kills=int(data.get("kills", 0)),
+            heals=int(data.get("heals", 0)),
+            repinned_clients=int(data.get("repinned_clients", 0)),
+            orphaned_requests=int(data.get("orphaned_requests", 0)),
+            timeline=[
+                [float(time), action, int(shard)]
+                for time, action, shard in data.get("timeline", [])
+            ],
+            service_samples=[
+                [float(time), int(served)]
+                for time, served in data.get("service_samples", [])
+            ],
+        )
+
+
+@dataclass
 class ClassMetrics:
     """Aggregates over all clients of one class ("good" or "bad")."""
 
@@ -325,6 +393,8 @@ class RunResult:
     bad_bandwidth_bps: float = 0.0
     #: Per-thinner-shard breakdown; a single entry outside fleet runs.
     shards: List[ShardMetrics] = field(default_factory=list)
+    #: Fault-plan outcome; only set when the run injected faults.
+    failover: Optional[FailoverMetrics] = None
 
     # -- the headline numbers ----------------------------------------------------
 
@@ -409,7 +479,7 @@ class RunResult:
         field, so it is the stable schema the sweep results store and the CLI
         ``--out`` files use.
         """
-        return {
+        payload = {
             "duration": self.duration,
             "defense": self.defense,
             "server_capacity_rps": self.server_capacity_rps,
@@ -431,6 +501,11 @@ class RunResult:
             "bad_bandwidth_bps": self.bad_bandwidth_bps,
             "shards": [shard.to_dict() for shard in self.shards],
         }
+        # Emitted only when set: fault-free results stay byte-identical to
+        # the pre-fault-layer schema.
+        if self.failover is not None:
+            payload["failover"] = self.failover.to_dict()
+        return payload
 
     def to_json(self, **dumps_kwargs) -> str:
         """The :meth:`to_dict` schema rendered as a JSON document."""
@@ -465,6 +540,11 @@ class RunResult:
             shards=[
                 ShardMetrics.from_dict(entry) for entry in data.get("shards", [])
             ],
+            failover=(
+                FailoverMetrics.from_dict(data["failover"])
+                if data.get("failover") is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -665,4 +745,9 @@ def collect(deployment) -> RunResult:
         good_bandwidth_bps=good_bw,
         bad_bandwidth_bps=bad_bw,
         shards=_collect_shards(deployment),
+        failover=(
+            FailoverMetrics.from_injector(deployment.fault_injector)
+            if getattr(deployment, "fault_injector", None) is not None
+            else None
+        ),
     )

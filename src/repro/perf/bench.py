@@ -1,12 +1,13 @@
 """The pinned performance benchmark behind ``speakup-repro bench``.
 
-The harness runs a fixed set of registry scenarios at seven scales —
+The harness runs a fixed set of registry scenarios at eight scales —
 ``lan-small`` (the paper's own scale), ``tiers-medium`` (hundreds of
 heterogeneous clients), ``stress-mega`` (thousands of clients, bound on the
 fluid allocator), ``thinner-mega`` (≥50k clients, bound on the
 admission/auction path), ``fleet-mega`` (≥17k clients spread over an
-8-shard thinner fleet, §4.3 scale-out), ``adaptive-pulse`` (the
-attack-triggered engagement controller switching speak-up on and off
+8-shard thinner fleet, §4.3 scale-out), ``fleet-failover`` (a mid-run
+shard kill/heal pulse through the fault-injection layer), ``adaptive-pulse``
+(the attack-triggered engagement controller switching speak-up on and off
 around a pulse), and ``soa-mega`` (≥200k clients driving one huge shared
 component through the struct-of-arrays vectorized allocator path) — and
 measures engine throughput (events/second)
@@ -108,6 +109,28 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
             thinner_shards=4,
             capacity_rps=400.0,
             duration=1.0,
+        ),
+    ),
+    BenchCase(
+        name="fleet-failover",
+        scenario="fleet-failover",
+        args=dict(
+            good_clients=150,
+            bad_clients=150,
+            thinner_shards=4,
+            capacity_rps=600.0,
+            duration=6.0,
+            kill_at_s=2.0,
+            heal_at_s=4.0,
+            repin_ttl_s=0.5,
+        ),
+        quick_args=dict(
+            good_clients=30,
+            bad_clients=30,
+            capacity_rps=120.0,
+            duration=3.0,
+            kill_at_s=1.0,
+            heal_at_s=2.0,
         ),
     ),
     BenchCase(

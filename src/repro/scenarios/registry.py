@@ -12,7 +12,8 @@ Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``diurnal-demand``, ``uplink-tiers``, the composable-admission scenarios
 ``adaptive-pulse`` (attack-triggered engagement) and ``layered-lan``
 (rate-limit filter in front of the auction), the sharded-fleet scenarios
-``fleet-lan`` and ``fleet-mega`` (§4.3 scale-out), and the perf-harness
+``fleet-lan``, ``fleet-mega`` (§4.3 scale-out) and ``fleet-failover``
+(a mid-run shard kill/heal pulse), and the perf-harness
 workloads ``stress-mega`` (allocator-bound), ``thinner-mega``
 (auction-bound, ≥50k clients) and ``soa-mega`` (array-bound, ≥200k clients
 through the struct-of-arrays vectorized allocator path).
@@ -735,6 +736,79 @@ def fleet_lan(
         thinner_shards=thinner_shards,
         shard_policy=shard_policy,
         admission_mode=admission_mode,
+    )
+
+
+@register("fleet-failover")
+def fleet_failover(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    thinner_shards: int = 4,
+    shard_policy: str = "hash",
+    admission_mode: str = "pooled",
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    kill_shard: int = 1,
+    kill_at_s: float = 20.0,
+    heal_at_s: float = 40.0,
+    repin_ttl_s: float = 2.0,
+    sample_interval_s: float = 0.25,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    fleet_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The fleet-lan workload through a mid-run shard kill/heal pulse.
+
+    Exercises the failover dynamics §4.3 leaves open: at ``kill_at_s`` shard
+    ``kill_shard`` drops dead — its access link goes down, its contenders
+    and in-flight requests are orphaned — and its clients re-resolve to the
+    survivors after a DNS-TTL-style lag drawn from ``[0, repin_ttl_s]``.
+    At ``heal_at_s`` the shard rejoins the candidate set (already-re-pinned
+    clients stay where they are — cached resolutions are sticky).  Pooled
+    admission is the default so the server's full capacity survives the
+    kill and good-client service can recover to its pre-kill level; with
+    ``partitioned`` the dead shard's ``c/N`` slice idles instead.  The
+    injector samples cumulative good service every ``sample_interval_s``;
+    ``repro.cli failover`` plots the dip and recovery.
+    """
+    from repro.faults.spec import kill_heal_pulse
+
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    return ScenarioSpec(
+        name="fleet-failover",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=fleet_bandwidth_bps),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+        thinner_shards=thinner_shards,
+        shard_policy=shard_policy,
+        admission_mode=admission_mode,
+        fault_plan=kill_heal_pulse(
+            kill_shard,
+            kill_at_s,
+            heal_at_s,
+            repin_ttl_s=repin_ttl_s,
+            sample_interval_s=sample_interval_s,
+        ),
     )
 
 

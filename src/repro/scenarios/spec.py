@@ -20,11 +20,12 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import DEFAULT_CLIENT_BANDWIDTH
-from repro.errors import DefenseError, ExperimentError
+from repro.errors import DefenseError, ExperimentError, FaultError
 from repro.clients.population import PopulationSpec, build_population
 from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES
 from repro.core.frontend import Deployment, DeploymentConfig
 from repro.defenses.spec import DefenseSpec, normalise_defense
+from repro.faults.spec import FaultPlan
 from repro.metrics.collector import RunResult
 from repro.simnet.topology import (
     DEFAULT_LAN_DELAY,
@@ -267,6 +268,12 @@ class ScenarioSpec:
     shard_policy: str = "hash"
     #: Server-slot sharing across shards: "partitioned" or "pooled".
     admission_mode: str = "partitioned"
+    #: Scheduled shard kill/heal events (§4.3 failover); ``None`` — or an
+    #: empty :class:`~repro.faults.spec.FaultPlan` — runs fault-free and
+    #: byte-identical to a spec without the field.  Sweepable down to plan
+    #: fields (``"fault_plan.repin_ttl_s"``) and individual events
+    #: (``"fault_plan.events.0.at_s"``).
+    fault_plan: Optional[FaultPlan] = None
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
 
     # -- validation -------------------------------------------------------------
@@ -304,6 +311,16 @@ class ScenarioSpec:
             raise ExperimentError(
                 "thinner fleets (thinner_shards > 1) need a 'lan' topology"
             )
+        if self.fault_plan is not None:
+            try:
+                self.fault_plan.validate(self.thinner_shards)
+            except FaultError as error:
+                raise ExperimentError(str(error)) from None
+            if self.fault_plan.events and self.thinner_shards < 2:
+                raise ExperimentError(
+                    "a fault_plan with events needs thinner_shards > 1 "
+                    "(a single-thinner deployment has nothing to fail over to)"
+                )
         if self.total_clients() == 0 and self.topology.kind != "dumbbell":
             raise ExperimentError("scenario needs at least one client")
         if self.topology.kind != "lan" and any(g.extra_delay_s for g in self.groups):
@@ -362,6 +379,7 @@ class ScenarioSpec:
             thinner_shards=self.thinner_shards,
             shard_policy=self.shard_policy,
             admission_mode=self.admission_mode,
+            fault_plan=self.fault_plan,
             **dict(self.config_overrides),
         )
 
@@ -460,6 +478,8 @@ class ScenarioSpec:
         }
         if self.defense_spec is not None:
             payload["defense_spec"] = self.defense_spec.to_dict()
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.to_dict()
         return payload
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -481,6 +501,9 @@ class ScenarioSpec:
         defense_spec = payload.get("defense_spec")
         if isinstance(defense_spec, dict):
             payload["defense_spec"] = DefenseSpec.from_dict(defense_spec)
+        fault_plan = payload.get("fault_plan")
+        if isinstance(fault_plan, dict):
+            payload["fault_plan"] = FaultPlan.from_dict(fault_plan)
         payload["config_overrides"] = freeze_overrides(
             payload.get("config_overrides", ())
         )

@@ -49,6 +49,7 @@ class Link:
         "capacity_bps",
         "delay_s",
         "buffer_bytes",
+        "is_up",
         "_flow_count",
         "_flows",
         "_entry_sums",
@@ -76,6 +77,10 @@ class Link:
         self.capacity_bps = float(capacity_bps)
         self.delay_s = float(delay_s)
         self.buffer_bytes = float(buffer_bytes if buffer_bytes is not None else self.DEFAULT_BUFFER_BYTES)
+        #: Administrative liveness: the fault injector marks a killed shard's
+        #: access link down (and stops its flows); capacity is untouched so
+        #: allocator bookkeeping never sees a zero-capacity link.
+        self.is_up = True
         self._flow_count = 0
         self._flows: Dict = {}
         self._entry_sums: Dict[int, float] = {}

@@ -17,6 +17,14 @@ from repro.simnet.network import FluidNetwork
 from repro.simnet.topology import build_lan, uniform_bandwidths
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: randomized property tests (run with -m slow; excluded from the "
+        "fast CI test job)",
+    )
+
+
 @pytest.fixture
 def engine() -> Engine:
     """A fresh simulation engine."""

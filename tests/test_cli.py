@@ -9,7 +9,7 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("demo", "figure2", "figure3", "costs", "figure6", "figure7",
                     "figure8", "figure9", "advantage", "windows", "capacity",
-                    "scenarios", "sweep", "bench", "fleet"):
+                    "scenarios", "sweep", "bench", "fleet", "failover"):
         args = parser.parse_args(
             [command] if command in ("demo", "capacity", "scenarios", "sweep", "bench")
             else [command, "--duration", "5"])
@@ -163,6 +163,16 @@ def test_fleet_command_prints_provisioning_curve(capsys):
     output = capsys.readouterr().out
     assert "Section 4.3" in output
     assert "predicted/shard" in output
+
+
+def test_failover_command_prints_pulse_and_summary(capsys):
+    exit_code = main(["failover", "--duration", "12", "--client-scale", "0.24",
+                      "--shards", "3", "--repin-ttl", "1"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "kill/heal pulse" in output
+    assert "recovery ratio" in output
+    assert "<- kill" in output
 
 
 def _assert_clean_one_line_error(capsys, argv, needle):

@@ -37,6 +37,9 @@ SMALL_SCENARIO_KWARGS = {
     "uplink-tiers": dict(clients_per_tier=2, capacity_rps=10.0, duration=6.0),
     "fleet-lan": dict(good_clients=3, bad_clients=3, thinner_shards=2,
                       capacity_rps=10.0, duration=6.0),
+    "fleet-failover": dict(good_clients=3, bad_clients=3, thinner_shards=2,
+                           kill_shard=1, kill_at_s=2.0, heal_at_s=4.0,
+                           repin_ttl_s=0.5, capacity_rps=10.0, duration=6.0),
     "fleet-mega": dict(good_clients=4, bad_clients=2, thinner_shards=2,
                        bad_rate=8.0, bad_window=3, capacity_rps=10.0,
                        duration=6.0),
