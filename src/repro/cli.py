@@ -13,6 +13,8 @@ Examples::
     speakup-repro advantage        # section 7.4
     speakup-repro capacity         # section 7.1 analogue
     speakup-repro adaptive         # attack-triggered engagement sweep
+    speakup-repro failover --fault-plan plan.json   # replay a saved plan
+    speakup-repro brownout         # gray failures: retry storms + ejection
     speakup-repro scenarios        # list the named scenarios
     speakup-repro scenarios --doc  # emit the docs/SCENARIOS.md gallery
     speakup-repro defenses         # list the registered defenses + knobs
@@ -146,6 +148,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="heal time (default: two thirds of the run)")
     failover.add_argument("--repin-ttl", type=float, default=2.0, metavar="S",
                           help="max DNS-style re-pin lag per orphaned client")
+    failover.add_argument("--fault-plan", default=None, metavar="FILE",
+                          help="JSON fault plan replacing the generated kill/heal "
+                               "pulse (validated against --shards and --duration; "
+                               "pass matching --kill-at/--heal-at so the report's "
+                               "windows line up)")
+
+    brownout = subparsers.add_parser(
+        "brownout",
+        help="gray failures: retry-storm amplification and health-driven ejection",
+        description=(
+            "Run the fleet-brownout scenario four ways: a fleet-wide lossy "
+            "pulse under naive and budgeted client retry policies (measuring "
+            "retry amplification), then a single-shard stall with and "
+            "without the health prober (measuring good-client service "
+            "during the pulse with ejection vs without)."
+        ),
+    )
+    _add_scale_arguments(brownout)
+    brownout.add_argument("--shards", type=int, default=4,
+                          help="fleet size (must be > 1)")
+    brownout.add_argument("--policy", default="hash",
+                          help="shard dispatch policy (hash, least-loaded, random)")
+    brownout.add_argument("--admission", default="pooled",
+                          help="admission mode (pooled, partitioned)")
+    brownout.add_argument("--loss-p", type=float, default=0.6, metavar="P",
+                          help="upload loss probability during the lossy pulse")
+    brownout.add_argument("--stall-shard", type=int, default=0,
+                          help="which shard stalls in the ejection arms")
+    brownout.add_argument("--start-at", type=float, default=None, metavar="S",
+                          help="pulse start (default: a third of the run)")
+    brownout.add_argument("--end-at", type=float, default=None, metavar="S",
+                          help="pulse end (default: two thirds of the run)")
+    brownout.add_argument("--probe-interval", type=float, default=0.5, metavar="S",
+                          help="health-prober sampling interval")
 
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
@@ -248,6 +284,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON results store to FILE")
 
     return parser
+
+
+def _load_fault_plan(path: str):
+    """Load a JSON fault plan, mapping every failure to a one-line error."""
+    import json
+
+    from repro.faults.spec import FaultPlan
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"--fault-plan: cannot read {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise ReproError(f"--fault-plan: {path!r} is not valid JSON: {error}")
+    try:
+        return FaultPlan.from_dict(data)
+    except (AttributeError, KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"--fault-plan: malformed plan in {path!r}: {error}")
 
 
 def _parse_value(text: str) -> Any:
@@ -515,6 +570,7 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "failover":
         from repro.experiments.failover import failover_pulse, format_failover
 
+        plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
         outcome = failover_pulse(
             _scale_from(args),
             shards=args.shards,
@@ -524,8 +580,26 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             kill_at_s=args.kill_at,
             heal_at_s=args.heal_at,
             repin_ttl_s=args.repin_ttl,
+            fault_plan=plan,
         )
         print(format_failover(outcome))
+        return 0
+
+    if args.command == "brownout":
+        from repro.experiments.brownout import brownout_comparison, format_brownout
+
+        outcome = brownout_comparison(
+            _scale_from(args),
+            shards=args.shards,
+            shard_policy=args.policy,
+            admission_mode=args.admission,
+            loss_p=args.loss_p,
+            stall_shard=args.stall_shard,
+            start_at_s=args.start_at,
+            end_at_s=args.end_at,
+            probe_interval_s=args.probe_interval,
+        )
+        print(format_brownout(outcome))
         return 0
 
     scale = _scale_from(args)

@@ -28,9 +28,10 @@ arrival time, so those clients keep the legacy per-event path.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
 
 from repro.constants import REQUEST_TIMEOUT
 from repro.errors import ClientError
@@ -62,6 +63,119 @@ DEFAULT_ARRIVAL_BATCH = 64
 MAX_CANDIDATES_PER_REFILL = 512
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client re-sends a request whose upload was aborted or dropped.
+
+    Without a policy (the default), a dropped request is simply finalised
+    as ``dropped`` — exactly the pre-retry behaviour, bit for bit.  With
+    one, each drop may be retried after an exponential backoff with
+    *decorrelated jitter* (``sleep = min(cap, uniform(base, prev * 3))``),
+    subject to a per-request attempt cap and an optional per-client retry
+    *budget*: a token bucket holding ``budget`` tokens that refills at
+    ``refill_per_s``, each retry spending one token.  Budget-suppressed
+    retries are counted in ``ClientStats.retries_suppressed`` — the knob
+    the brownout experiment sweeps to show retry-storm mitigation.
+
+    Frozen and JSON-round-trippable so scenario specs can carry and sweep
+    it like any other field.
+    """
+
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    max_attempts: int = 4
+    budget: Optional[float] = None
+    refill_per_s: float = 0.0
+
+    def validate(self) -> None:
+        if self.base_backoff_s < 0:
+            raise ClientError(
+                f"base_backoff_s must be non-negative, got {self.base_backoff_s}"
+            )
+        if self.max_backoff_s < 0:
+            raise ClientError(
+                f"max_backoff_s must be non-negative, got {self.max_backoff_s}"
+            )
+        if self.max_attempts < 0:
+            raise ClientError(f"max_attempts must be non-negative, got {self.max_attempts}")
+        if self.budget is not None and self.budget < 0:
+            raise ClientError(f"budget must be non-negative or None, got {self.budget}")
+        if self.refill_per_s < 0:
+            raise ClientError(f"refill_per_s must be non-negative, got {self.refill_per_s}")
+
+    def backoff_delay(self, prev_s: float, rng) -> float:
+        """The next backoff, by decorrelated jitter from the previous one.
+
+        A zero ``max_backoff_s`` short-circuits to an immediate retry
+        without consuming a random draw, so the naive policy stays cheap.
+        """
+        if self.max_backoff_s <= 0.0:
+            return 0.0
+        prev = prev_s if prev_s > 0.0 else self.base_backoff_s
+        high = prev * 3.0
+        if high < self.base_backoff_s:
+            high = self.base_backoff_s
+        return min(self.max_backoff_s, rng.uniform(self.base_backoff_s, high))
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def naive(cls, max_attempts: int = 8) -> "RetryPolicy":
+        """Immediate unbudgeted retries: the retry-storm failure mode."""
+        return cls(
+            base_backoff_s=0.0,
+            max_backoff_s=0.0,
+            max_attempts=max_attempts,
+            budget=None,
+            refill_per_s=0.0,
+        )
+
+    @classmethod
+    def budgeted(
+        cls,
+        budget: float = 1.0,
+        refill_per_s: float = 0.05,
+        max_attempts: int = 4,
+    ) -> "RetryPolicy":
+        """Jittered backoff with a token-bucket retry budget (the mitigation)."""
+        return cls(
+            base_backoff_s=0.05,
+            max_backoff_s=2.0,
+            max_attempts=max_attempts,
+            budget=budget,
+            refill_per_s=refill_per_s,
+        )
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base_backoff_s": self.base_backoff_s,
+            "max_backoff_s": self.max_backoff_s,
+            "max_attempts": self.max_attempts,
+            "budget": self.budget,
+            "refill_per_s": self.refill_per_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RetryPolicy":
+        budget = data.get("budget")
+        return cls(
+            base_backoff_s=float(data.get("base_backoff_s", 0.05)),
+            max_backoff_s=float(data.get("max_backoff_s", 2.0)),
+            max_attempts=int(data.get("max_attempts", 4)),
+            budget=None if budget is None else float(budget),
+            refill_per_s=float(data.get("refill_per_s", 0.0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RetryPolicy":
+        return cls.from_dict(json.loads(payload))
+
+
 @dataclass
 class ClientStats:
     """Counters and per-served-request samples for one client."""
@@ -72,6 +186,8 @@ class ClientStats:
     denied: int = 0            # backlog timeouts: the paper's "service denials"
     dropped: int = 0           # dropped/aborted by the thinner or server
     backlogged: int = 0
+    retries_attempted: int = 0   # re-sends scheduled by the retry policy
+    retries_suppressed: int = 0  # retries the token-bucket budget refused
     bytes_paid: float = 0.0
     payment_times: List[float] = field(default_factory=list)
     response_times: List[float] = field(default_factory=list)
@@ -106,6 +222,7 @@ class BaseClient:
         difficulty: DifficultySpec = 1.0,
         rate_modulator: Optional[RateModulator] = None,
         arrival_batch: int = DEFAULT_ARRIVAL_BATCH,
+        retry_policy: Optional[RetryPolicy] = None,
         auto_register: bool = True,
     ) -> None:
         if rate_rps <= 0:
@@ -151,6 +268,30 @@ class BaseClient:
         #: while set, new arrivals back up in the backlog (and may be denied
         #: by the normal sweep) instead of being sent to a dead front-end.
         self._shard_down = False
+
+        #: Retry discipline for aborted/dropped uploads.  ``None`` (the
+        #: default) preserves the pre-retry behaviour bit for bit: no extra
+        #: random stream is created, no state is kept, drops finalise
+        #: immediately.
+        if retry_policy is not None:
+            retry_policy.validate()
+        self.retry_policy = retry_policy
+        #: request_id -> (attempts so far, previous backoff) while a request
+        #: is being retried; request_id -> (request, timer event) while one
+        #: is waiting out a backoff (still counted ``outstanding``).
+        self._retry_state: Dict[int, tuple] = {}
+        self._retry_pending: Dict[int, tuple] = {}
+        self._retry_rng = (
+            deployment.streams.stream(f"retry:{host.name}")
+            if retry_policy is not None
+            else None
+        )
+        self._retry_tokens = (
+            retry_policy.budget
+            if retry_policy is not None and retry_policy.budget is not None
+            else 0.0
+        )
+        self._retry_refill_time = 0.0
 
         #: Pregenerated accepted arrival times, oldest first.
         self.arrival_batch = int(arrival_batch)
@@ -294,6 +435,11 @@ class BaseClient:
 
     def _issue(self, request: Request) -> None:
         self.outstanding += 1
+        self._send_upload(request)
+
+    def _send_upload(self, request: Request) -> None:
+        """One upload attempt: ``_issue`` for fresh requests, re-entered by
+        the retry machinery for backed-off ones (already outstanding)."""
         self.stats.sent += 1
         request.state = RequestState.SENT
         request.sent_at = self.engine.now
@@ -308,6 +454,17 @@ class BaseClient:
 
     def _request_delivered(self, request: Request) -> None:
         self._inflight.pop(request.request_id, None)
+        injector = self.deployment.fault_injector
+        if injector is not None and injector.upload_lost(self.shard):
+            # The ``lossy`` gray failure: the upload completed but the
+            # shard lost it.  The client learns via the usual drop path
+            # (connection reset after one propagation delay), where the
+            # retry policy, if any, takes over.
+            request.state = RequestState.DROPPED
+            request.drop_reason = "fault-loss"
+            delay = self.network.topology.one_way_delay(self.thinner_host, self.host)
+            self.engine.schedule_after(delay, self.on_dropped, request, "fault-loss")
+            return
         self.thinner.receive_request(request, self)
 
     # -- thinner callbacks ------------------------------------------------------------
@@ -336,15 +493,76 @@ class BaseClient:
         response_time = request.response_time()
         if response_time is not None:
             self.stats.response_times.append(response_time)
+        if self._retry_state:
+            self._retry_state.pop(request.request_id, None)
         self._drain_backlog()
 
     def on_dropped(self, request: Request, reason: str) -> None:
         """The thinner or server abandoned the request."""
         self._forget_channel(request)
+        if self._maybe_retry(request):
+            return  # still outstanding; a backoff timer owns it now
         self.outstanding -= 1
         self.stats.dropped += 1
         self.stats.bytes_paid += request.bytes_paid
+        if self._retry_state:
+            self._retry_state.pop(request.request_id, None)
         self._drain_backlog()
+
+    # -- retry machinery (active only with a RetryPolicy) ---------------------------
+
+    def _maybe_retry(self, request: Request) -> bool:
+        """Schedule a re-send of a dropped request if the policy allows one.
+
+        Returns True when a backoff timer was armed — the request stays
+        ``outstanding`` throughout, so the accounting identity (issued ==
+        served + denied + dropped + outstanding + backlog) is untouched.
+        """
+        policy = self.retry_policy
+        if policy is None or self._shard_down:
+            return False
+        attempts, prev_backoff = self._retry_state.get(request.request_id, (0, 0.0))
+        if attempts >= policy.max_attempts:
+            return False
+        if policy.budget is not None:
+            self._refill_retry_tokens()
+            if self._retry_tokens < 1.0:
+                self.stats.retries_suppressed += 1
+                return False
+            self._retry_tokens -= 1.0
+        delay = policy.backoff_delay(prev_backoff, self._retry_rng)
+        self._retry_state[request.request_id] = (attempts + 1, delay)
+        self.stats.retries_attempted += 1
+        # Bank this attempt's payment now; the next attempt's channel close
+        # overwrites request.bytes_paid, so without this the earlier
+        # attempt's spend would vanish from the client's accounting.
+        self.stats.bytes_paid += request.bytes_paid
+        request.bytes_paid = 0.0
+        event = self.engine.schedule_after(delay, self._retry_fire, request)
+        self._retry_pending[request.request_id] = (request, event)
+        return True
+
+    def _refill_retry_tokens(self) -> None:
+        policy = self.retry_policy
+        now = self.engine.now
+        elapsed = now - self._retry_refill_time
+        if elapsed > 0.0 and policy.refill_per_s > 0.0:
+            self._retry_tokens = min(
+                policy.budget, self._retry_tokens + elapsed * policy.refill_per_s
+            )
+        self._retry_refill_time = now
+
+    def _retry_fire(self, request: Request) -> None:
+        self._retry_pending.pop(request.request_id, None)
+        if self._shard_down:
+            # The shard died while this request waited out its backoff and
+            # the kill path could not see it; finalise it as dropped here.
+            self.outstanding -= 1
+            self.stats.dropped += 1
+            self.stats.bytes_paid += request.bytes_paid
+            self._retry_state.pop(request.request_id, None)
+            return
+        self._send_upload(request)
 
     # -- backlog management --------------------------------------------------------------
     #
@@ -377,6 +595,12 @@ class BaseClient:
         self._ensure_sweep()
 
     def _deny(self, request: Request) -> None:
+        # A request that already reached a terminal state (e.g. aborted by a
+        # shard kill landing exactly on this deadline tick) was counted once
+        # under that outcome; denying it again would double-count it and
+        # break the accounting identity, so the deny is a no-op.
+        if request.state in (RequestState.DROPPED, RequestState.DENIED):
+            return
         request.state = RequestState.DENIED
         request.denied_at = self.engine.now
         self.stats.denied += 1
@@ -417,6 +641,20 @@ class BaseClient:
             self.stats.dropped += 1
             orphaned += 1
         self._inflight.clear()
+        # Requests waiting out a retry backoff are equally orphaned: cancel
+        # their timers and finalise them, or they would re-send to the dead
+        # shard (or leak from ``outstanding``) after the re-pin.
+        if self._retry_pending:
+            for request, event in self._retry_pending.values():
+                event.cancel()
+                request.state = RequestState.DROPPED
+                request.drop_reason = "shard-killed"
+                self.outstanding -= 1
+                self.stats.dropped += 1
+                orphaned += 1
+            self._retry_pending.clear()
+        if self._retry_state:
+            self._retry_state.clear()
         return orphaned
 
     def repin(self, shard: int) -> None:

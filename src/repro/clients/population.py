@@ -18,7 +18,7 @@ from repro.constants import (
 )
 from repro.errors import ClientError
 from repro.clients.bad import BadClient
-from repro.clients.base import BaseClient, DifficultySpec, RateModulator
+from repro.clients.base import BaseClient, DifficultySpec, RateModulator, RetryPolicy
 from repro.clients.good import GoodClient
 from repro.core.frontend import Deployment
 from repro.simnet.host import Host
@@ -38,6 +38,9 @@ class PopulationSpec:
     #: Cohort-level override for the clients' arrival pregeneration chunk
     #: (``None`` keeps :data:`repro.clients.base.DEFAULT_ARRIVAL_BATCH`).
     arrival_batch: Optional[int] = None
+    #: Cohort-level retry discipline for dropped uploads (``None`` keeps the
+    #: historical fire-and-forget behaviour, bit for bit).
+    retry_policy: Optional[RetryPolicy] = None
 
     def resolved_rate(self) -> float:
         if self.rate_rps is not None:
@@ -90,6 +93,8 @@ def build_population(
             kwargs["rate_modulator"] = spec.rate_modulator
         if spec.arrival_batch is not None:
             kwargs["arrival_batch"] = spec.arrival_batch
+        if spec.retry_policy is not None:
+            kwargs["retry_policy"] = spec.retry_policy
         for _ in range(spec.count):
             host = next(host_iter)
             clients.append(factory(deployment, host, **kwargs))

@@ -37,7 +37,9 @@ The two admission modes bracket how a real fleet shares the back-end:
 from __future__ import annotations
 
 import zlib
-from typing import Callable, List, Optional
+from dataclasses import asdict, dataclass
+from statistics import median
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ThinnerError
 from repro.httpd.messages import Request
@@ -49,6 +51,9 @@ SHARD_POLICIES = ("hash", "least-loaded", "random")
 
 #: How the fleet shares the protected server's capacity.
 ADMISSION_MODES = ("partitioned", "pooled")
+
+#: Drop reason recorded when the health prober drains an ejected shard.
+EJECT_REASON = "health-ejected"
 
 
 class ShardRouter:
@@ -94,6 +99,10 @@ class ShardRouter:
         #: assignment ignores it (every shard is alive before the run), but
         #: :meth:`reassign` only ever lands on live shards.
         self.alive: List[bool] = [True] * shards
+        #: Ejection mask maintained by the :class:`HealthProber`: an ejected
+        #: shard is up but judged sick, so :meth:`reassign` routes around it
+        #: while the fault injector's liveness mask is left untouched.
+        self.ejected: List[bool] = [False] * shards
 
     def set_alive(self, shard: int, alive: bool) -> None:
         """Mark ``shard`` dead or alive in the dispatch candidate set."""
@@ -101,9 +110,23 @@ class ShardRouter:
             raise ThinnerError(f"shard {shard} out of range for {self.shards} shard(s)")
         self.alive[shard] = alive
 
+    def set_ejected(self, shard: int, ejected: bool) -> None:
+        """Mark ``shard`` health-ejected (routed around) or readmitted."""
+        if not 0 <= shard < self.shards:
+            raise ThinnerError(f"shard {shard} out of range for {self.shards} shard(s)")
+        self.ejected[shard] = ejected
+
     def live_shards(self) -> List[int]:
         """Indices of the shards currently in the candidate set."""
         return [index for index, alive in enumerate(self.alive) if alive]
+
+    def routable_shards(self) -> List[int]:
+        """Live shards that are not health-ejected (the re-pin candidates)."""
+        return [
+            index
+            for index, alive in enumerate(self.alive)
+            if alive and not self.ejected[index]
+        ]
 
     def reassign(self, client_name: str, from_shard: int) -> int:
         """Re-pin a failed-over client to a live shard, policy-consistently.
@@ -112,9 +135,14 @@ class ShardRouter:
         node leaves the ring), ``least-loaded`` picks the live shard with the
         fewest current pins, and ``random`` redraws from the same seeded
         stream as initial dispatch.  The old pin's count is released so
-        ``least-loaded`` tracks live populations, not history.
+        ``least-loaded`` tracks live populations, not history.  Ejected
+        shards are avoided while any non-ejected live shard remains; when
+        the prober has ejected everything that is still up, liveness wins
+        (a sick front-end beats no front-end).
         """
-        live = self.live_shards()
+        live = self.routable_shards()
+        if not live:
+            live = self.live_shards()
         if not live:
             raise ThinnerError("cannot reassign: no live shards")
         self.counts[from_shard] -= 1
@@ -280,3 +308,236 @@ class PooledAdmission:
                 return
         # No shard had a contender: every shard has marked itself idle and
         # the next arrival anywhere in the fleet is admitted for free.
+
+
+@dataclass(frozen=True)
+class HealthProbeSpec:
+    """Configuration for the fleet's gray-failure health prober.
+
+    A fail-stop kill is visible (the access link goes down); a gray failure
+    is not — a degraded, lossy, or stalled shard still answers probes, so a
+    liveness mask never catches it.  The prober instead watches each shard's
+    *work rates* — admission grants per second and payment bytes sunk per
+    second — and ejects outliers that fall below ``eject_fraction`` of the
+    fleet median on either signal.
+
+    All fields are JSON-round-trippable so scenario specs can carry a probe
+    configuration through serialization and sweeps.
+    """
+
+    #: Seconds between probe ticks.
+    interval_s: float = 0.5
+    #: EWMA smoothing weight applied to each new per-tick rate sample.
+    alpha: float = 0.3
+    #: Eject a shard whose smoothed rate drops below this fraction of the
+    #: fleet median (on either the admission or the payment-sink signal).
+    eject_fraction: float = 0.3
+    #: Seconds an ejected shard sits out before probation readmits it.
+    holddown_s: float = 3.0
+    #: Probe ticks observed before a shard becomes eligible for ejection.
+    min_samples: int = 3
+
+    def validate(self) -> None:
+        if self.interval_s <= 0:
+            raise ThinnerError(f"probe interval_s must be positive, got {self.interval_s}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ThinnerError(f"probe alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 < self.eject_fraction < 1.0:
+            raise ThinnerError(
+                f"probe eject_fraction must be in (0, 1), got {self.eject_fraction}"
+            )
+        if self.holddown_s < 0:
+            raise ThinnerError(f"probe holddown_s must be non-negative, got {self.holddown_s}")
+        if self.min_samples < 1:
+            raise ThinnerError(f"probe min_samples must be at least 1, got {self.min_samples}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HealthProbeSpec":
+        return cls(
+            interval_s=float(data.get("interval_s", 0.5)),
+            alpha=float(data.get("alpha", 0.3)),
+            eject_fraction=float(data.get("eject_fraction", 0.3)),
+            holddown_s=float(data.get("holddown_s", 3.0)),
+            min_samples=int(data.get("min_samples", 3)),
+        )
+
+
+class HealthProber:
+    """Ejects gray-failing shards from dispatch based on observed work rates.
+
+    State machine per shard::
+
+        healthy --(rate < fraction x median, min_samples seen)--> ejected
+        ejected --(holddown_s elapses)--> probation (readmitted, stats reset)
+        probation --(new pins + healthy rates)--> healthy
+
+    Every ``interval_s`` the prober differentiates each live shard's
+    cumulative admission-grant count and cumulative payment-byte *arrivals*
+    (bytes already sunk plus the open contenders' current balances, peeked
+    without touching flow state — sunk bytes alone lag a capacity collapse
+    by however much stock the open channels accumulated beforehand) into
+    per-second rates and folds them into per-shard EWMAs.  A shard is ejected when
+    either EWMA falls below ``eject_fraction`` of the fleet median (taken
+    over live, non-ejected shards), provided it has been observed for
+    ``min_samples`` ticks, still has clients pinned to it, and at least one
+    other routable shard would remain.  Ejection re-pins the shard's clients
+    immediately (the operator's load balancer flips, not a DNS TTL) via the
+    same sticky :meth:`ShardRouter.reassign` path the fault injector uses.
+
+    After ``holddown_s`` the shard is readmitted on probation: its EWMAs and
+    sample counts reset, and because re-pinned clients never migrate back,
+    the ``counts[shard] > 0`` eligibility guard keeps an idle readmitted
+    shard from being re-ejected for serving nobody.
+    """
+
+    def __init__(self, deployment, spec: HealthProbeSpec) -> None:
+        spec.validate()
+        self.deployment = deployment
+        self.spec = spec
+        self.engine = deployment.engine
+        shards = deployment.config.thinner_shards
+        self.shards = shards
+        self._admit_last: List[int] = [0] * shards
+        self._sink_last: List[float] = [0.0] * shards
+        self._admit_ewma: List[float] = [0.0] * shards
+        self._sink_ewma: List[float] = [0.0] * shards
+        self._samples: List[int] = [0] * shards
+        #: Absolute readmission deadline per ejected shard (None = healthy).
+        self._probation_until: List[Optional[float]] = [None] * shards
+        self._task = None
+
+        # -- the FailoverMetrics surface ------------------------------------
+        self.ejections = 0
+        self.readmits = 0
+        self.repinned_clients = 0
+        self.probe_samples = 0
+        self.timeline: List[Tuple[float, str, int]] = []
+
+    def arm(self) -> None:
+        """Start the periodic probe loop (idempotent per deployment run)."""
+        now = self.engine.now
+        self._admit_last = [
+            t.stats.requests_admitted for t in self.deployment.thinners
+        ]
+        self._sink_last = [
+            self._payment_arrived(shard, now) for shard in range(self.shards)
+        ]
+        self._task = self.engine.schedule_every(self.spec.interval_s, self._tick)
+
+    def _payment_arrived(self, shard: int, now: float) -> float:
+        """Cumulative payment bytes that reached ``shard`` (sunk + open bids)."""
+        thinner = self.deployment.thinners[shard]
+        total = thinner.stats.payment_bytes_sunk
+        for contender in thinner._contenders.values():
+            total += contender.peek_bid(now)
+        return total
+
+    # -- probe loop -------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        router = self.deployment._router
+        self._expire_probations(now, router)
+        spec = self.spec
+        for shard in range(self.shards):
+            if not router.alive[shard]:
+                # Killed shards are the fault injector's problem; forget any
+                # smoothed history so a heal starts from a clean slate.
+                self._reset_shard(shard)
+                continue
+            stats = self.deployment.thinners[shard].stats
+            arrived = self._payment_arrived(shard, now)
+            admit_rate = (stats.requests_admitted - self._admit_last[shard]) / spec.interval_s
+            sink_rate = (arrived - self._sink_last[shard]) / spec.interval_s
+            self._admit_last[shard] = stats.requests_admitted
+            self._sink_last[shard] = arrived
+            if self._samples[shard] == 0:
+                self._admit_ewma[shard] = admit_rate
+                self._sink_ewma[shard] = sink_rate
+            else:
+                self._admit_ewma[shard] = (
+                    spec.alpha * admit_rate + (1.0 - spec.alpha) * self._admit_ewma[shard]
+                )
+                self._sink_ewma[shard] = (
+                    spec.alpha * sink_rate + (1.0 - spec.alpha) * self._sink_ewma[shard]
+                )
+            self._samples[shard] += 1
+            self.probe_samples += 1
+        self._maybe_eject(now, router)
+
+    def _expire_probations(self, now: float, router: ShardRouter) -> None:
+        for shard in range(self.shards):
+            until = self._probation_until[shard]
+            if until is not None and now >= until:
+                self._probation_until[shard] = None
+                router.set_ejected(shard, False)
+                self._reset_shard(shard)
+                self.readmits += 1
+                self.timeline.append((now, "readmit", shard))
+
+    def _reset_shard(self, shard: int) -> None:
+        stats = self.deployment.thinners[shard].stats
+        self._admit_last[shard] = stats.requests_admitted
+        self._sink_last[shard] = self._payment_arrived(shard, self.engine.now)
+        self._admit_ewma[shard] = 0.0
+        self._sink_ewma[shard] = 0.0
+        self._samples[shard] = 0
+
+    def _maybe_eject(self, now: float, router: ShardRouter) -> None:
+        spec = self.spec
+        fleet = [
+            shard
+            for shard in range(self.shards)
+            if router.alive[shard] and not router.ejected[shard]
+        ]
+        if len(fleet) < 2:
+            return
+        admit_median = median(self._admit_ewma[shard] for shard in fleet)
+        sink_median = median(self._sink_ewma[shard] for shard in fleet)
+        for shard in fleet:
+            if self._samples[shard] < spec.min_samples:
+                continue
+            if router.counts[shard] <= 0:
+                # Nobody is pinned here (fresh off probation): zero rates
+                # reflect an empty shard, not a sick one.
+                continue
+            starved_admit = (
+                admit_median > 0.0
+                and self._admit_ewma[shard] < spec.eject_fraction * admit_median
+            )
+            starved_sink = (
+                sink_median > 0.0
+                and self._sink_ewma[shard] < spec.eject_fraction * sink_median
+            )
+            if not (starved_admit or starved_sink):
+                continue
+            if len(router.routable_shards()) < 2:
+                return  # never eject the last routable shard
+            self._eject(now, router, shard)
+
+    def _eject(self, now: float, router: ShardRouter, shard: int) -> None:
+        router.set_ejected(shard, True)
+        self.ejections += 1
+        self.timeline.append((now, "eject", shard))
+        if self.spec.holddown_s > 0:
+            self._probation_until[shard] = now + self.spec.holddown_s
+        # Drain the sick front-end: evict its contenders (channels close,
+        # owners get ordinary drop notifications and can retry against their
+        # new shard) exactly as the kill path does — a moved client cannot
+        # leave a request contending on a shard it no longer pays.
+        thinner = self.deployment.thinners[shard]
+        for contender in thinner.contenders():
+            thinner._drop(contender.request, EJECT_REASON)
+        # Move the shard's clients off it now.  Aborting their in-flight
+        # uploads mirrors the kill path (a client cannot keep a request on
+        # shard A while its channel state migrates to shard B), but unlike a
+        # kill the re-pin is immediate: the operator flipped the balancer,
+        # no DNS cache has to expire.
+        for client in self.deployment.clients_of_shard(shard):
+            client.shard_failed()
+            new_shard = router.reassign(client.name, client.shard)
+            client.repin(new_shard)
+            self.repinned_clients += 1

@@ -37,8 +37,15 @@ from repro.constants import (
     SERVICE_TIME_JITTER,
     SUSPEND_ABORT_TIMEOUT,
 )
-from repro.errors import DefenseError, ExperimentError, FaultError
-from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES, PooledAdmission, ShardRouter
+from repro.errors import DefenseError, ExperimentError, FaultError, ThinnerError
+from repro.core.fleet import (
+    ADMISSION_MODES,
+    SHARD_POLICIES,
+    HealthProbeSpec,
+    HealthProber,
+    PooledAdmission,
+    ShardRouter,
+)
 from repro.core.payment import PaymentChannel
 from repro.core.thinner import ThinnerBase
 from repro.httpd.messages import Request
@@ -133,6 +140,11 @@ class DeploymentConfig:
     #: with events needs ``thinner_shards > 1`` and a defense whose thinner
     #: survives shard death (the quantum variant does not).
     fault_plan: Optional["FaultPlan"] = None
+    #: Health-driven shard ejection (see :class:`repro.core.fleet.HealthProber`).
+    #: ``None`` (the default) builds no prober and keeps the run byte-identical
+    #: to a prober-free deployment; a spec needs ``thinner_shards > 1`` (a
+    #: single shard has no fleet median to compare against).
+    health_probe: Optional[HealthProbeSpec] = None
     #: Model TCP slow start on payment POSTs (disable for speed in huge sweeps).
     model_slow_start: bool = True
     #: Use the struct-of-arrays vectorized recompute paths (large-component
@@ -214,6 +226,16 @@ class DeploymentConfig:
             try:
                 self.fault_plan.validate(self.thinner_shards)
             except FaultError as error:
+                raise ExperimentError(str(error)) from None
+        if self.health_probe is not None:
+            if self.thinner_shards < 2:
+                raise ExperimentError(
+                    "health_probe needs thinner_shards > 1 (ejection compares "
+                    "each shard against the fleet median)"
+                )
+            try:
+                self.health_probe.validate()
+            except ThinnerError as error:
                 raise ExperimentError(str(error)) from None
 
 
@@ -323,6 +345,14 @@ class Deployment:
 
             self.fault_injector = FaultInjector(self, plan)
             self.fault_injector.arm()
+
+        #: The health prober, or ``None`` when no probe spec is configured.
+        #: Like the injector, its absence is the byte-identity baseline: no
+        #: spec means no periodic events and no new metrics keys.
+        self.health_prober: Optional[HealthProber] = None
+        if self.config.health_probe is not None:
+            self.health_prober = HealthProber(self, self.config.health_probe)
+            self.health_prober.arm()
 
     # -- construction helpers -----------------------------------------------------
 

@@ -160,9 +160,13 @@ class ThinnerBase:
         )
         self._next_seq = 0
         self._server_idle = True
+        #: Gray-failure admission stall (the ``stall`` fault): a stalled
+        #: thinner keeps receiving requests and sinking payment bytes but
+        #: declines every server-ready offer, so nothing is admitted.
+        self.stalled = False
 
         server.on_request_done = self._request_done
-        server.on_ready = self._server_ready
+        server.on_ready = self._on_server_ready
 
     # -- public API used by clients ------------------------------------------------
 
@@ -205,6 +209,34 @@ class ThinnerBase:
 
     def _server_ready(self) -> None:
         raise NotImplementedError
+
+    # -- admission stall (gray failure) -------------------------------------------------
+
+    def _on_server_ready(self) -> None:
+        """Server-ready gate: a stalled thinner declines the offer.
+
+        Crucially the stalled branch does *not* set ``_server_idle`` — the
+        variants' free-admission fast path stays disabled, so arrivals keep
+        contending (and paying) without anything being admitted.  In pooled
+        mode the shared slot's round-robin simply moves on to the next
+        shard, exactly as it does for a shard with nothing to offer.
+        """
+        if self.stalled:
+            return
+        self._server_ready()
+
+    def set_stalled(self, stalled: bool) -> None:
+        """Start or stop the ``stall`` gray failure."""
+        if stalled == self.stalled:
+            return
+        self.stalled = stalled
+        if stalled:
+            # Close the free-admission window: the next arrival must contend.
+            self._server_idle = False
+        elif not self.server.busy:
+            # Resume: take the offer we declined while stalled (if the slot
+            # is still free; in pooled mode another shard may hold it).
+            self._server_ready()
 
     # -- shared helpers -----------------------------------------------------------------
 

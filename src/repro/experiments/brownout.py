@@ -1,0 +1,251 @@
+"""Gray failures, measured: retry amplification and health-driven ejection.
+
+Fail-stop kills (``repro.experiments.failover``) are the easy case — the
+router notices a dead shard immediately.  Real fleets mostly suffer *gray*
+failures: a shard that stays up but serves badly.  This experiment runs the
+``fleet-brownout`` scenario through two such brownouts and reduces each to
+the number an operator would page on:
+
+* **Retry amplification** (fleet-wide lossy pulse): clients whose uploads
+  vanish retry them.  With a *naive* policy (immediate, unbudgeted) a loss
+  probability ``p`` multiplies offered load by roughly ``1/(1-p)`` — the
+  classic retry storm.  A *budgeted* policy (token bucket plus
+  decorrelated-jitter backoff) must hold the amplification near 1.
+  Amplification over the pulse is ``sends / (sends - retries)``, i.e.
+  wire-level upload starts per fresh request.
+
+* **Ejection gain** (single-shard stall pulse): a stalled shard keeps
+  accepting bytes but stops granting admission, silently starving its
+  pinned clients.  With the :class:`~repro.core.fleet.HealthProber` armed,
+  the shard's grant-rate EWMA collapses below the fleet median, the prober
+  ejects it and re-pins its clients onto healthy shards; service during the
+  pulse must beat the probe-less run, where the clients sit starved until
+  the shard recovers.
+
+Both comparisons share one workload (the §7.2 LAN mix on a sharded fleet)
+so the four arms differ only in fault kind, retry policy, and prober.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentScale
+from repro.experiments.failover import PAPER_CLIENT_COUNT, _ServiceCurve
+from repro.metrics.collector import RunResult
+from repro.metrics.tables import format_table
+from repro.scenarios.registry import build_scenario
+
+#: A naive retry policy under the default lossy pulse must amplify offered
+#: load by at least this factor (the storm being demonstrated).
+NAIVE_AMPLIFICATION_FLOOR = 2.0
+
+#: A budgeted retry policy under the same pulse must stay at or below this.
+BUDGETED_AMPLIFICATION_CEILING = 1.2
+
+
+@dataclass(frozen=True)
+class BrownoutOutcome:
+    """Two gray-failure comparisons reduced to their headline numbers."""
+
+    shards: int
+    admission_mode: str
+    start_at_s: float
+    end_at_s: float
+    loss_p: float
+    #: Upload starts per fresh request over the lossy pulse, naive retries.
+    naive_amplification: float
+    #: Same with the token-bucket budget armed.
+    budgeted_amplification: float
+    #: Retries the budget refused to spend (budgeted lossy arm).
+    retries_suppressed: int
+    #: Prober activity in the stall arm with the probe armed.
+    ejections: int
+    readmits: int
+    ejected_repins: int
+    #: Good requests served during the stall pulse, probe armed vs not.
+    probe_served_in_pulse: int
+    no_probe_served_in_pulse: int
+
+    @property
+    def ejection_gain(self) -> float:
+        """Pulse-window good service with the prober over without."""
+        if self.no_probe_served_in_pulse == 0:
+            return float("inf") if self.probe_served_in_pulse else 1.0
+        return self.probe_served_in_pulse / self.no_probe_served_in_pulse
+
+    @property
+    def storm_demonstrated(self) -> bool:
+        return self.naive_amplification >= NAIVE_AMPLIFICATION_FLOOR
+
+    @property
+    def budget_held(self) -> bool:
+        return self.budgeted_amplification <= BUDGETED_AMPLIFICATION_CEILING
+
+    @property
+    def ejection_won(self) -> bool:
+        return self.probe_served_in_pulse > self.no_probe_served_in_pulse
+
+
+class _RetryCurve:
+    """Cumulative ``(sends, retries)`` samples as a queryable step function."""
+
+    def __init__(self, samples: Sequence[Sequence[float]]) -> None:
+        if len(samples) < 2:
+            raise ExperimentError(
+                "brownout run produced fewer than two retry samples; "
+                "increase the duration or lower sample_interval_s"
+            )
+        self.times = [float(sample[0]) for sample in samples]
+        self.sent = [int(sample[1]) for sample in samples]
+        self.retried = [int(sample[2]) for sample in samples]
+
+    def amplification(self, start: float, end: float) -> float:
+        """Upload starts per fresh request over ``[start, end]``."""
+        lo = max(bisect_right(self.times, start) - 1, 0)
+        hi = max(bisect_right(self.times, end) - 1, 0)
+        sends = self.sent[hi] - self.sent[lo]
+        fresh = sends - (self.retried[hi] - self.retried[lo])
+        if fresh <= 0:
+            return float("inf") if sends > 0 else 1.0
+        return sends / fresh
+
+
+def _failover_of(result: RunResult, arm: str):
+    if result.failover is None:
+        raise ExperimentError(f"brownout arm {arm!r} returned no failover metrics")
+    return result.failover
+
+
+def brownout_comparison(
+    scale: ExperimentScale,
+    shards: int = 4,
+    shard_policy: str = "hash",
+    admission_mode: str = "pooled",
+    paper_capacity: float = 100.0,
+    loss_p: float = 0.6,
+    stall_shard: int = 0,
+    start_at_s: Optional[float] = None,
+    end_at_s: Optional[float] = None,
+    probe_interval_s: float = 0.5,
+    eject_fraction: float = 0.3,
+    sample_interval_s: float = 0.25,
+) -> BrownoutOutcome:
+    """Run the four brownout arms and summarise both comparisons.
+
+    Arms one and two put a fleet-wide lossy pulse (probability ``loss_p``)
+    under naive and budgeted retry policies; arms three and four stall one
+    shard with and without the health prober.  The pulse lands a third of
+    the way into the run and lifts two thirds in unless given explicitly.
+    """
+    duration = scale.duration
+    start = duration / 3.0 if start_at_s is None else start_at_s
+    end = 2.0 * duration / 3.0 if end_at_s is None else end_at_s
+    if not 0.0 < start < end < duration:
+        raise ExperimentError(
+            f"need 0 < start ({start:g}) < end ({end:g}) < duration ({duration:g})"
+        )
+
+    total_clients = scale.clients(PAPER_CLIENT_COUNT)
+    good = total_clients // 2
+    bad = total_clients - good
+    capacity = scale.capacity(paper_capacity, PAPER_CLIENT_COUNT, total_clients)
+
+    def run(fault: str, retry: str, probe: bool) -> RunResult:
+        spec = build_scenario(
+            "fleet-brownout",
+            good_clients=good,
+            bad_clients=bad,
+            thinner_shards=shards,
+            shard_policy=shard_policy,
+            admission_mode=admission_mode,
+            capacity_rps=capacity,
+            fault=fault,
+            fault_shard=stall_shard,
+            loss_p=loss_p,
+            loss_scope="fleet",
+            start_at_s=start,
+            end_at_s=end,
+            retry=retry,
+            health_probe=probe,
+            probe_interval_s=probe_interval_s,
+            eject_fraction=eject_fraction,
+            sample_interval_s=sample_interval_s,
+            duration=duration,
+            seed=scale.seed,
+        )
+        return spec.run()
+
+    naive = _failover_of(run("lossy", "naive", False), "naive")
+    budgeted = _failover_of(run("lossy", "budgeted", False), "budgeted")
+    probed = _failover_of(run("stall", "none", True), "probe")
+    unprobed = _failover_of(run("stall", "none", False), "no-probe")
+
+    naive_amp = _RetryCurve(naive.retry_samples).amplification(start, end)
+    budgeted_amp = _RetryCurve(budgeted.retry_samples).amplification(start, end)
+
+    probe_curve = _ServiceCurve(probed.service_samples)
+    bare_curve = _ServiceCurve(unprobed.service_samples)
+
+    return BrownoutOutcome(
+        shards=shards,
+        admission_mode=admission_mode,
+        start_at_s=start,
+        end_at_s=end,
+        loss_p=loss_p,
+        naive_amplification=naive_amp,
+        budgeted_amplification=budgeted_amp,
+        retries_suppressed=budgeted.retries_suppressed,
+        ejections=probed.ejections,
+        readmits=probed.readmits,
+        ejected_repins=probed.ejected_repins,
+        probe_served_in_pulse=probe_curve.at(end) - probe_curve.at(start),
+        no_probe_served_in_pulse=bare_curve.at(end) - bare_curve.at(start),
+    )
+
+
+def format_brownout(outcome: BrownoutOutcome) -> str:
+    """Render both comparisons as summary tables."""
+    storm = format_table(
+        headers=["metric", "value"],
+        rows=[
+            ("pulse (s)", f"{outcome.start_at_s:g}-{outcome.end_at_s:g}"),
+            ("upload loss probability", f"{outcome.loss_p:g}"),
+            ("naive amplification", f"{outcome.naive_amplification:.2f}x"),
+            ("budgeted amplification", f"{outcome.budgeted_amplification:.2f}x"),
+            ("retries suppressed by budget", outcome.retries_suppressed),
+            (
+                f"storm demonstrated (naive >= {NAIVE_AMPLIFICATION_FLOOR:g}x)",
+                "yes" if outcome.storm_demonstrated else "NO",
+            ),
+            (
+                f"budget held (<= {BUDGETED_AMPLIFICATION_CEILING:g}x)",
+                "yes" if outcome.budget_held else "NO",
+            ),
+        ],
+        title=(
+            "Retry storm: fleet-wide lossy pulse, naive vs budgeted retries "
+            f"({outcome.shards} shards, {outcome.admission_mode} admission)"
+        ),
+    )
+    ejection = format_table(
+        headers=["metric", "value"],
+        rows=[
+            ("ejections / readmits", f"{outcome.ejections} / {outcome.readmits}"),
+            ("clients re-pinned by ejection", outcome.ejected_repins),
+            ("good served in pulse, probe on", outcome.probe_served_in_pulse),
+            ("good served in pulse, probe off", outcome.no_probe_served_in_pulse),
+            (
+                "ejection gain",
+                "inf"
+                if outcome.ejection_gain == float("inf")
+                else f"{outcome.ejection_gain:.2f}x",
+            ),
+            ("ejection won", "yes" if outcome.ejection_won else "NO"),
+        ],
+        title="Health-driven ejection: single-shard stall, probe on vs off",
+    )
+    return storm + "\n\n" + ejection

@@ -24,11 +24,12 @@ pre-kill level once every orphaned client has re-pinned).
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentScale
+from repro.faults.spec import FaultPlan
 from repro.metrics.tables import format_table
 from repro.scenarios.registry import build_scenario
 
@@ -112,12 +113,18 @@ def failover_pulse(
     heal_at_s: Optional[float] = None,
     repin_ttl_s: float = 2.0,
     window_s: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> FailoverOutcome:
     """Run one kill/heal pulse and summarise the good-service curve.
 
     The kill lands a third of the way into the run and the heal two thirds
     in (unless given explicitly), so every phase — settle, outage, recovery
     — gets a comparable share of the duration at any ``scale``.
+
+    An explicit ``fault_plan`` (e.g. loaded from a JSON file via
+    ``repro.cli failover --fault-plan``) replaces the scenario's generated
+    kill/heal pulse entirely; pass matching ``kill_at_s``/``heal_at_s`` so
+    the pre/dip/post windows line up with the plan's events.
     """
     duration = scale.duration
     kill_at = duration / 3.0 if kill_at_s is None else kill_at_s
@@ -149,6 +156,9 @@ def failover_pulse(
         duration=duration,
         seed=scale.seed,
     )
+    if fault_plan is not None:
+        fault_plan.validate(shards=shards, horizon_s=duration)
+        spec = replace(spec, fault_plan=fault_plan)
     result = spec.run()
     failover = result.failover
     if failover is None:

@@ -35,9 +35,26 @@ link) and re-pins any clients whose lag expired while the whole fleet was
 dark.  Clients that already failed over elsewhere do not migrate back —
 their cached resolution is fine — matching §4.3's sticky-pinning model.
 
-The injector also samples cumulative good-client service on a fixed cadence
-while armed; :class:`~repro.metrics.collector.FailoverMetrics` exposes the
-series so the failover experiment can plot service through the pulse.
+The three **gray failures** never touch the dispatch masks — the point is
+that the fleet keeps routing to a misbehaving shard until the health prober
+(if configured) notices:
+
+* ``degrade``/``restore`` — scale the shard's access-link capacity through
+  :meth:`~repro.simnet.link.Link.set_capacity_factor` (both directions,
+  through the live network so every crossing flow is re-allocated) while
+  ``is_up`` stays true;
+* ``lossy``/``lossless`` — set the shard's upload-loss probability; each
+  completed request upload is then dropped with that probability, drawn
+  from the dedicated ``"fault-loss"`` stream (created only when the plan
+  has lossy events, preserving the empty-plan bit-identity contract);
+* ``stall``/``resume`` — gate the shard's thinner admission
+  (:meth:`~repro.core.thinner.ThinnerBase.set_stalled`): it keeps receiving
+  requests and sinking payment bytes but stops granting admission.
+
+The injector also samples cumulative good-client service (and, for the
+retry-amplification analysis, good-client sends/retries/suppressions) on a
+fixed cadence while armed; :class:`~repro.metrics.collector.FailoverMetrics`
+exposes the series so experiments can plot service through the pulse.
 """
 
 from __future__ import annotations
@@ -75,30 +92,66 @@ class FaultInjector:
         #: Clients whose re-pin lag expired while no shard was alive.
         self._stranded: List = []
 
+        # -- gray-failure state --------------------------------------------
+        #: Current capacity factor per shard (1.0 = undegraded).
+        self.capacity_factor: List[float] = [1.0] * shards
+        #: Current upload-loss probability per shard (0.0 = lossless).
+        self.loss_p: List[float] = [0.0] * shards
+        #: Admission-stall flag per shard.
+        self.stalled: List[bool] = [False] * shards
+        #: The loss stream exists only when the plan can need it, so plans
+        #: without lossy events stay draw-identical to pre-gray main.
+        self._loss_rng = (
+            deployment.streams.stream("fault-loss")
+            if any(event.action == "lossy" for event in plan.events)
+            else None
+        )
+
         # -- the FailoverMetrics surface ------------------------------------
         self.kills = 0
         self.heals = 0
         self.repinned_clients = 0
         self.orphaned_requests = 0
+        #: Gray-failure transition counters (start events that took effect).
+        self.degrades = 0
+        self.stalls = 0
+        #: Uploads the ``lossy`` fault actually dropped.
+        self.lossy_uploads = 0
         #: Executed fault timeline: ``(time, action, shard)``.
         self.timeline: List[Tuple[float, str, int]] = []
         #: Cumulative good-client served samples: ``(time, served)``.
         self.service_samples: List[Tuple[float, int]] = []
+        #: Cumulative good-client retry samples:
+        #: ``(time, sent, retries_attempted, retries_suppressed)``.
+        self.retry_samples: List[Tuple[float, int, int, int]] = []
 
     def arm(self) -> None:
         """Schedule the plan's events (called once, at deployment build)."""
         for event in self.plan.ordered_events():
             self.engine.schedule_at(event.at_s, self._execute, event)
-        self.service_samples.append((self.engine.now, self._good_served()))
+        self._sample()
         self.engine.schedule_every(self.plan.sample_interval_s, self._sample)
 
     # -- event execution -----------------------------------------------------
 
     def _execute(self, event: FaultEvent) -> None:
-        if event.action == "kill":
+        action = event.action
+        if action == "kill":
             self._kill(event.shard)
-        else:
+        elif action == "heal":
             self._heal(event.shard)
+        elif action == "degrade":
+            self._degrade(event.shard, event.factor)
+        elif action == "restore":
+            self._restore(event.shard)
+        elif action == "lossy":
+            self._lossy(event.shard, event.loss_p)
+        elif action == "lossless":
+            self._lossless(event.shard)
+        elif action == "stall":
+            self._stall(event.shard)
+        elif action == "resume":
+            self._resume(event.shard)
 
     def _kill(self, shard: int) -> None:
         if not self.alive[shard]:
@@ -162,6 +215,71 @@ class FaultInjector:
         for client in stranded:
             self._repin_now(client)
 
+    # -- gray failures ---------------------------------------------------------
+
+    def _degrade(self, shard: int, factor: float) -> None:
+        if self.capacity_factor[shard] == factor:
+            return  # re-degrading at the same factor is a no-op
+        self.capacity_factor[shard] = factor
+        self.degrades += 1
+        self.timeline.append((self.engine.now, "degrade", shard))
+        self._apply_capacity_factor(shard, factor)
+
+    def _restore(self, shard: int) -> None:
+        if self.capacity_factor[shard] == 1.0:
+            return  # restoring an undegraded shard is a no-op
+        self.capacity_factor[shard] = 1.0
+        self.timeline.append((self.engine.now, "restore", shard))
+        self._apply_capacity_factor(shard, 1.0)
+
+    def _apply_capacity_factor(self, shard: int, factor: float) -> None:
+        deployment = self.deployment
+        host = deployment.thinner_hosts[shard]
+        network = deployment.network
+        for link in (host.access.up, host.access.down):
+            link.set_capacity_factor(factor, network=network)
+
+    def _lossy(self, shard: int, loss_p: float) -> None:
+        if self.loss_p[shard] == loss_p:
+            return
+        self.loss_p[shard] = loss_p
+        self.timeline.append((self.engine.now, "lossy", shard))
+
+    def _lossless(self, shard: int) -> None:
+        if self.loss_p[shard] == 0.0:
+            return
+        self.loss_p[shard] = 0.0
+        self.timeline.append((self.engine.now, "lossless", shard))
+
+    def _stall(self, shard: int) -> None:
+        if self.stalled[shard]:
+            return
+        self.stalled[shard] = True
+        self.stalls += 1
+        self.timeline.append((self.engine.now, "stall", shard))
+        self.deployment.thinners[shard].set_stalled(True)
+
+    def _resume(self, shard: int) -> None:
+        if not self.stalled[shard]:
+            return
+        self.stalled[shard] = False
+        self.timeline.append((self.engine.now, "resume", shard))
+        self.deployment.thinners[shard].set_stalled(False)
+
+    def upload_lost(self, shard: int) -> bool:
+        """Bernoulli drop decision for one completed upload toward ``shard``.
+
+        Returns False without consuming a draw while the shard is lossless,
+        so runs whose plans never turn loss on stay draw-identical.
+        """
+        p = self.loss_p[shard]
+        if p <= 0.0:
+            return False
+        if self._loss_rng.bernoulli(p):
+            self.lossy_uploads += 1
+            return True
+        return False
+
     # -- re-pinning ------------------------------------------------------------
 
     def _repin(self, client) -> None:
@@ -187,7 +305,18 @@ class FaultInjector:
         )
 
     def _sample(self) -> None:
-        self.service_samples.append((self.engine.now, self._good_served()))
+        served = sent = retried = suppressed = 0
+        for client in self.deployment.clients:
+            if client.client_class != "good":
+                continue
+            stats = client.stats
+            served += stats.served
+            sent += stats.sent
+            retried += stats.retries_attempted
+            suppressed += stats.retries_suppressed
+        now = self.engine.now
+        self.service_samples.append((now, served))
+        self.retry_samples.append((now, sent, retried, suppressed))
 
     # -- internals -------------------------------------------------------------
 

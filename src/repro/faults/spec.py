@@ -1,4 +1,4 @@
-"""Fault plans: scheduled shard kill/heal events, as frozen data.
+"""Fault plans: scheduled shard kill/heal/gray-failure events, as frozen data.
 
 A :class:`FaultPlan` is to failover what a
 :class:`~repro.scenarios.spec.ScenarioSpec` is to a run: a frozen,
@@ -6,6 +6,16 @@ JSON-round-trippable description that can be stored in sweep records,
 compared across runs, and swept over.  The plan itself does nothing — a
 :class:`~repro.faults.injector.FaultInjector` executes it against a live
 deployment off the simulation engine clock.
+
+Beyond the fail-stop pair (``kill``/``heal``), three gray-failure pairs
+model shards that misbehave while still answering health checks:
+
+* ``degrade``/``restore`` — scale the shard's access-link capacity by
+  ``factor`` while ``Link.is_up`` stays true (a browned-out front-end);
+* ``lossy``/``lossless`` — drop each completed upload at the thinner with
+  probability ``loss_p``, drawn from the dedicated ``"fault-loss"`` stream;
+* ``stall``/``resume`` — the shard stops granting admission but keeps
+  accepting payment bytes (the classic gray failure).
 
 The compatibility contract, enforced by the empty-plan pin tests: a
 deployment configured with ``FaultPlan()`` (no events) builds no injector,
@@ -17,12 +27,32 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import FaultError
 
-#: The two things that can happen to a shard mid-run.
-FAULT_ACTIONS = ("kill", "heal")
+#: Everything that can happen to a shard mid-run: the fail-stop pair plus
+#: the three gray-failure start/stop pairs.
+FAULT_ACTIONS = (
+    "kill",
+    "heal",
+    "degrade",
+    "restore",
+    "lossy",
+    "lossless",
+    "stall",
+    "resume",
+)
+
+#: Stop actions and the start action each one undoes (used by the optional
+#: strict horizon validation: a stop for a shard that never started is
+#: almost always a typo in a hand-written plan).
+STOP_ACTIONS = {
+    "heal": "kill",
+    "restore": "degrade",
+    "lossless": "lossy",
+    "resume": "stall",
+}
 
 #: Default DNS-TTL analogue: a failed-over client re-pins after a lag drawn
 #: uniformly from ``[0, repin_ttl_s]`` — its cached resolution is uniformly
@@ -36,11 +66,19 @@ DEFAULT_SAMPLE_INTERVAL = 0.25
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled shard fault: ``kill`` or ``heal`` shard ``shard`` at ``at_s``."""
+    """One scheduled shard fault.
+
+    ``factor`` is required by (and only valid for) ``degrade``: the shard's
+    access-link capacity becomes ``factor * base`` in both directions.
+    ``loss_p`` is required by (and only valid for) ``lossy``: each upload
+    that completes toward the shard is dropped with this probability.
+    """
 
     at_s: float
     action: str
     shard: int
+    factor: Optional[float] = None
+    loss_p: Optional[float] = None
 
     def validate(self, shards: Optional[int] = None) -> None:
         if self.at_s < 0:
@@ -56,25 +94,66 @@ class FaultEvent:
                 f"fault event targets shard {self.shard} but the fleet has "
                 f"only {shards} shard(s)"
             )
+        if self.action == "degrade":
+            if self.factor is None or not 0.0 < self.factor <= 1.0:
+                raise FaultError(
+                    f"degrade needs a capacity factor in (0, 1], got {self.factor}"
+                )
+        elif self.factor is not None:
+            raise FaultError(f"{self.action!r} events take no capacity factor")
+        if self.action == "lossy":
+            if self.loss_p is None or not 0.0 <= self.loss_p <= 1.0:
+                raise FaultError(
+                    f"lossy needs a drop probability in [0, 1], got {self.loss_p}"
+                )
+        elif self.loss_p is not None:
+            raise FaultError(f"{self.action!r} events take no drop probability")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"at_s": self.at_s, "action": self.action, "shard": self.shard}
+        payload: Dict[str, Any] = {
+            "at_s": self.at_s,
+            "action": self.action,
+            "shard": self.shard,
+        }
+        if self.factor is not None:
+            payload["factor"] = self.factor
+        if self.loss_p is not None:
+            payload["loss_p"] = self.loss_p
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        factor = data.get("factor")
+        loss_p = data.get("loss_p")
         return cls(
-            at_s=float(data["at_s"]), action=str(data["action"]), shard=int(data["shard"])
+            at_s=float(data["at_s"]),
+            action=str(data["action"]),
+            shard=int(data["shard"]),
+            factor=None if factor is None else float(factor),
+            loss_p=None if loss_p is None else float(loss_p),
         )
+
+    def describe(self) -> str:
+        """A compact one-line rendering for validation error messages."""
+        extra = ""
+        if self.factor is not None:
+            extra = f" factor={self.factor:g}"
+        if self.loss_p is not None:
+            extra = f" loss_p={self.loss_p:g}"
+        return f"{self.action}@{self.at_s:g}s shard={self.shard}{extra}"
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A schedule of shard kill/heal events plus the re-pin lag model.
+    """A schedule of shard fault events plus the re-pin lag model.
 
     ``events`` may arrive in any order; the injector executes them in
-    ``(at_s, declaration order)`` order.  Killing an already-dead shard or
-    healing a live one is a no-op, so randomly generated schedules (the
-    property tests') need no cross-event consistency.
+    ``(at_s, declaration order)`` order.  Stop actions with nothing to stop
+    (healing a live shard, restoring an undegraded one, ...) are no-ops, so
+    randomly generated schedules (the property tests') need no cross-event
+    consistency.  Pass ``horizon_s`` to :meth:`validate` for the strict
+    check hand-written plans want: events past the run horizon and orphan
+    stop events become errors listing every offender.
     """
 
     events: Tuple[FaultEvent, ...] = ()
@@ -95,8 +174,15 @@ class FaultPlan:
         """True when the plan schedules nothing (the byte-identical no-op)."""
         return not self.events
 
-    def validate(self, shards: Optional[int] = None) -> None:
-        """Raise :class:`~repro.errors.FaultError` on a nonsensical plan."""
+    def validate(
+        self, shards: Optional[int] = None, horizon_s: Optional[float] = None
+    ) -> None:
+        """Raise :class:`~repro.errors.FaultError` on a nonsensical plan.
+
+        With ``horizon_s`` the check turns strict: events scheduled beyond
+        the horizon and stop events for shards that never started (a heal
+        for a never-killed shard, ...) raise one error listing them all.
+        """
         if self.repin_ttl_s < 0:
             raise FaultError(f"repin_ttl_s must be non-negative, got {self.repin_ttl_s}")
         if self.sample_interval_s <= 0:
@@ -105,6 +191,36 @@ class FaultPlan:
             )
         for event in self.events:
             event.validate(shards)
+        if horizon_s is not None:
+            self._validate_strict(horizon_s)
+
+    def _validate_strict(self, horizon_s: float) -> None:
+        problems: List[str] = []
+        for event in self.events:
+            if event.at_s > horizon_s:
+                problems.append(
+                    f"{event.describe()} is beyond the {horizon_s:g}s run horizon"
+                )
+        started: Dict[str, set] = {start: set() for start in STOP_ACTIONS.values()}
+        for event in self.ordered_events():
+            if event.at_s > horizon_s:
+                continue
+            if event.action in started:
+                started[event.action].add(event.shard)
+            elif event.action in STOP_ACTIONS:
+                start = STOP_ACTIONS[event.action]
+                if event.shard not in started[start]:
+                    problems.append(
+                        f"{event.describe()} stops a shard no earlier "
+                        f"{start!r} event started"
+                    )
+                else:
+                    started[start].discard(event.shard)
+        if problems:
+            raise FaultError(
+                f"invalid fault plan ({len(problems)} problem(s)): "
+                + "; ".join(problems)
+            )
 
     def ordered_events(self) -> Tuple[FaultEvent, ...]:
         """Events in execution order: by time, declaration order on ties."""
@@ -154,6 +270,50 @@ def kill_heal_pulse(
             FaultEvent(at_s=kill_at_s, action="kill", shard=shard),
             FaultEvent(at_s=heal_at_s, action="heal", shard=shard),
         ),
+        repin_ttl_s=repin_ttl_s,
+        sample_interval_s=sample_interval_s,
+    )
+
+
+def gray_pulse(
+    shards: Tuple[int, ...],
+    start_at_s: float,
+    end_at_s: float,
+    factor: Optional[float] = None,
+    loss_p: Optional[float] = None,
+    stall: bool = False,
+    repin_ttl_s: float = DEFAULT_REPIN_TTL,
+    sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL,
+) -> FaultPlan:
+    """One gray-failure pulse over ``shards``: start every selected axis at
+    ``start_at_s`` and stop it at ``end_at_s``.
+
+    Pass ``factor`` for a capacity degrade, ``loss_p`` for upload loss,
+    ``stall=True`` for an admission stall; axes compose on the same pulse.
+    """
+    if end_at_s <= start_at_s:
+        raise FaultError(
+            f"end_at_s ({end_at_s}) must come after start_at_s ({start_at_s})"
+        )
+    if factor is None and loss_p is None and not stall:
+        raise FaultError("gray_pulse needs at least one of factor, loss_p, stall")
+    events: List[FaultEvent] = []
+    for shard in shards:
+        if factor is not None:
+            events.append(
+                FaultEvent(at_s=start_at_s, action="degrade", shard=shard, factor=factor)
+            )
+            events.append(FaultEvent(at_s=end_at_s, action="restore", shard=shard))
+        if loss_p is not None:
+            events.append(
+                FaultEvent(at_s=start_at_s, action="lossy", shard=shard, loss_p=loss_p)
+            )
+            events.append(FaultEvent(at_s=end_at_s, action="lossless", shard=shard))
+        if stall:
+            events.append(FaultEvent(at_s=start_at_s, action="stall", shard=shard))
+            events.append(FaultEvent(at_s=end_at_s, action="resume", shard=shard))
+    return FaultPlan(
+        events=tuple(events),
         repin_ttl_s=repin_ttl_s,
         sample_interval_s=sample_interval_s,
     )

@@ -145,37 +145,83 @@ class FailoverMetrics:
 
     ``timeline`` holds the executed ``[time, action, shard]`` events in
     order (no-op kills of dead shards and heals of live ones are not
-    recorded).  ``service_samples`` is the cumulative good-client served
+    recorded; the health prober's eject/readmit transitions are merged in
+    when one ran).  ``service_samples`` is the cumulative good-client served
     count sampled on the plan's cadence, ``[time, served]`` — difference
     neighbouring samples to get a service rate through the pulse.
+    ``retry_samples`` is the parallel cumulative retry accounting,
+    ``[time, sent, retried, suppressed]`` over the good clients — the
+    series retry-amplification numbers are differenced from.
+
+    Every post-fail-stop field (gray-failure transition counters, prober
+    counters, retry totals and samples) serialises only when non-zero, so a
+    kill/heal-only run's dictionary is byte-identical to earlier releases.
     """
 
     kills: int = 0
     heals: int = 0
     repinned_clients: int = 0
     orphaned_requests: int = 0
+    #: Gray-failure transitions that took effect (degrade/stall starts) and
+    #: uploads the lossy fault swallowed.
+    degrades: int = 0
+    stalls: int = 0
+    lossy_uploads: int = 0
+    #: Health-prober outcome: ejections, probation readmits, clients moved
+    #: off ejected shards, and individual per-shard probe observations.
+    ejections: int = 0
+    readmits: int = 0
+    ejected_repins: int = 0
+    probe_samples: int = 0
+    #: Client retry totals (attempted and budget-suppressed), fleet-wide.
+    retries_attempted: int = 0
+    retries_suppressed: int = 0
     timeline: List[List] = field(default_factory=list)
     service_samples: List[List] = field(default_factory=list)
+    retry_samples: List[List] = field(default_factory=list)
 
     @classmethod
-    def from_injector(cls, injector) -> "FailoverMetrics":
-        return cls(
-            kills=injector.kills,
-            heals=injector.heals,
-            repinned_clients=injector.repinned_clients,
-            orphaned_requests=injector.orphaned_requests,
-            timeline=[
+    def from_injector(cls, injector, prober=None) -> "FailoverMetrics":
+        """Build from the fault injector and/or health prober (either may be None)."""
+        metrics = cls()
+        if injector is not None:
+            metrics.kills = injector.kills
+            metrics.heals = injector.heals
+            metrics.repinned_clients = injector.repinned_clients
+            metrics.orphaned_requests = injector.orphaned_requests
+            metrics.degrades = injector.degrades
+            metrics.stalls = injector.stalls
+            metrics.lossy_uploads = injector.lossy_uploads
+            metrics.timeline = [
                 [float(time), action, int(shard)]
                 for time, action, shard in injector.timeline
-            ],
-            service_samples=[
+            ]
+            metrics.service_samples = [
                 [float(time), int(served)]
                 for time, served in injector.service_samples
-            ],
-        )
+            ]
+            metrics.retry_samples = [
+                [float(time), int(sent), int(retried), int(suppressed)]
+                for time, sent, retried, suppressed in injector.retry_samples
+            ]
+        if prober is not None:
+            metrics.ejections = prober.ejections
+            metrics.readmits = prober.readmits
+            metrics.ejected_repins = prober.repinned_clients
+            metrics.probe_samples = prober.probe_samples
+            if prober.timeline:
+                metrics.timeline = sorted(
+                    metrics.timeline
+                    + [
+                        [float(time), action, int(shard)]
+                        for time, action, shard in prober.timeline
+                    ],
+                    key=lambda entry: entry[0],
+                )
+        return metrics
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kills": self.kills,
             "heals": self.heals,
             "repinned_clients": self.repinned_clients,
@@ -183,6 +229,25 @@ class FailoverMetrics:
             "timeline": [list(entry) for entry in self.timeline],
             "service_samples": [list(entry) for entry in self.service_samples],
         }
+        # Only-when-nonzero: a kill/heal-only plan serialises exactly as it
+        # did before the gray-failure, retry and prober extensions existed.
+        for key in (
+            "degrades",
+            "stalls",
+            "lossy_uploads",
+            "ejections",
+            "readmits",
+            "ejected_repins",
+            "probe_samples",
+            "retries_attempted",
+            "retries_suppressed",
+        ):
+            value = getattr(self, key)
+            if value:
+                payload[key] = value
+        if self.retry_samples:
+            payload["retry_samples"] = [list(entry) for entry in self.retry_samples]
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "FailoverMetrics":
@@ -191,6 +256,15 @@ class FailoverMetrics:
             heals=int(data.get("heals", 0)),
             repinned_clients=int(data.get("repinned_clients", 0)),
             orphaned_requests=int(data.get("orphaned_requests", 0)),
+            degrades=int(data.get("degrades", 0)),
+            stalls=int(data.get("stalls", 0)),
+            lossy_uploads=int(data.get("lossy_uploads", 0)),
+            ejections=int(data.get("ejections", 0)),
+            readmits=int(data.get("readmits", 0)),
+            ejected_repins=int(data.get("ejected_repins", 0)),
+            probe_samples=int(data.get("probe_samples", 0)),
+            retries_attempted=int(data.get("retries_attempted", 0)),
+            retries_suppressed=int(data.get("retries_suppressed", 0)),
             timeline=[
                 [float(time), action, int(shard)]
                 for time, action, shard in data.get("timeline", [])
@@ -198,6 +272,10 @@ class FailoverMetrics:
             service_samples=[
                 [float(time), int(served)]
                 for time, served in data.get("service_samples", [])
+            ],
+            retry_samples=[
+                [float(time), int(sent), int(retried), int(suppressed)]
+                for time, sent, retried, suppressed in data.get("retry_samples", [])
             ],
         )
 
@@ -213,6 +291,10 @@ class ClassMetrics:
     served: int = 0
     denied: int = 0
     dropped: int = 0
+    #: Upload retries the class's clients fired and budget-suppressed
+    #: (zero — and absent from the serialised form — without retry policies).
+    retries_attempted: int = 0
+    retries_suppressed: int = 0
     bytes_paid: float = 0.0
     payment_time: Summary = field(default_factory=lambda: summarise([]))
     response_time: Summary = field(default_factory=lambda: summarise([]))
@@ -234,7 +316,7 @@ class ClassMetrics:
 
     def to_dict(self) -> dict:
         """A JSON-ready dictionary that :meth:`from_dict` can rebuild."""
-        return {
+        payload = {
             "client_class": self.client_class,
             "clients": self.clients,
             "aggregate_bandwidth_bps": self.aggregate_bandwidth_bps,
@@ -247,6 +329,12 @@ class ClassMetrics:
             "response_time": self.response_time.as_dict(),
             "mean_price_bytes": self.mean_price_bytes,
         }
+        # Only-when-nonzero: policy-free runs serialise exactly as before.
+        if self.retries_attempted:
+            payload["retries_attempted"] = self.retries_attempted
+        if self.retries_suppressed:
+            payload["retries_suppressed"] = self.retries_suppressed
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClassMetrics":
@@ -259,6 +347,8 @@ class ClassMetrics:
             served=int(data.get("served", 0)),
             denied=int(data.get("denied", 0)),
             dropped=int(data.get("dropped", 0)),
+            retries_attempted=int(data.get("retries_attempted", 0)),
+            retries_suppressed=int(data.get("retries_suppressed", 0)),
             bytes_paid=float(data.get("bytes_paid", 0.0)),
             payment_time=Summary.from_dict(data.get("payment_time", {})),
             response_time=Summary.from_dict(data.get("response_time", {})),
@@ -566,6 +656,8 @@ def _collect_class(deployment, client_class: str) -> ClassMetrics:
         metrics.served += stats.served
         metrics.denied += stats.denied
         metrics.dropped += stats.dropped
+        metrics.retries_attempted += stats.retries_attempted
+        metrics.retries_suppressed += stats.retries_suppressed
         metrics.bytes_paid += client.total_bytes_spent()
         payment_times.extend(stats.payment_times)
         response_times.extend(stats.response_times)
@@ -678,6 +770,18 @@ def _collect_shards(deployment) -> List[ShardMetrics]:
     return shards
 
 
+def _collect_failover(deployment, good, bad) -> Optional[FailoverMetrics]:
+    """Failover metrics when faults were injected or a prober ran, else None."""
+    injector = getattr(deployment, "fault_injector", None)
+    prober = getattr(deployment, "health_prober", None)
+    if injector is None and prober is None:
+        return None
+    metrics = FailoverMetrics.from_injector(injector, prober)
+    metrics.retries_attempted = good.retries_attempted + bad.retries_attempted
+    metrics.retries_suppressed = good.retries_suppressed + bad.retries_suppressed
+    return metrics
+
+
 def collect(deployment) -> RunResult:
     """Build a :class:`RunResult` from a deployment that has finished running."""
     good = _collect_class(deployment, "good")
@@ -745,9 +849,5 @@ def collect(deployment) -> RunResult:
         good_bandwidth_bps=good_bw,
         bad_bandwidth_bps=bad_bw,
         shards=_collect_shards(deployment),
-        failover=(
-            FailoverMetrics.from_injector(deployment.fault_injector)
-            if getattr(deployment, "fault_injector", None) is not None
-            else None
-        ),
+        failover=_collect_failover(deployment, good, bad),
     )

@@ -1,16 +1,18 @@
 """The pinned performance benchmark behind ``speakup-repro bench``.
 
-The harness runs a fixed set of registry scenarios at eight scales —
+The harness runs a fixed set of registry scenarios at nine scales —
 ``lan-small`` (the paper's own scale), ``tiers-medium`` (hundreds of
 heterogeneous clients), ``stress-mega`` (thousands of clients, bound on the
 fluid allocator), ``thinner-mega`` (≥50k clients, bound on the
 admission/auction path), ``fleet-mega`` (≥17k clients spread over an
 8-shard thinner fleet, §4.3 scale-out), ``fleet-failover`` (a mid-run
-shard kill/heal pulse through the fault-injection layer), ``adaptive-pulse``
-(the attack-triggered engagement controller switching speak-up on and off
-around a pulse), and ``soa-mega`` (≥200k clients driving one huge shared
-component through the struct-of-arrays vectorized allocator path) — and
-measures engine throughput (events/second)
+shard kill/heal pulse through the fault-injection layer),
+``fleet-brownout`` (a gray-failure lossy pulse with budgeted client
+retries and the health prober ejecting the faulted shard),
+``adaptive-pulse`` (the attack-triggered engagement controller switching
+speak-up on and off around a pulse), and ``soa-mega`` (≥200k clients
+driving one huge shared component through the struct-of-arrays vectorized
+allocator path) — and measures engine throughput (events/second)
 plus the network's hot-path counters
 (:class:`repro.perf.counters.SimCounters`).
 
@@ -131,6 +133,33 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
             duration=3.0,
             kill_at_s=1.0,
             heal_at_s=2.0,
+        ),
+    ),
+    BenchCase(
+        name="fleet-brownout",
+        scenario="fleet-brownout",
+        args=dict(
+            good_clients=150,
+            bad_clients=150,
+            thinner_shards=4,
+            capacity_rps=600.0,
+            duration=6.0,
+            fault="lossy",
+            loss_scope="shard",
+            fault_shard=0,
+            loss_p=0.6,
+            start_at_s=2.0,
+            end_at_s=4.0,
+            retry="budgeted",
+            health_probe=True,
+        ),
+        quick_args=dict(
+            good_clients=30,
+            bad_clients=30,
+            capacity_rps=120.0,
+            duration=3.0,
+            start_at_s=1.0,
+            end_at_s=2.0,
         ),
     ),
     BenchCase(

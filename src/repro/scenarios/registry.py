@@ -12,8 +12,10 @@ Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``diurnal-demand``, ``uplink-tiers``, the composable-admission scenarios
 ``adaptive-pulse`` (attack-triggered engagement) and ``layered-lan``
 (rate-limit filter in front of the auction), the sharded-fleet scenarios
-``fleet-lan``, ``fleet-mega`` (§4.3 scale-out) and ``fleet-failover``
-(a mid-run shard kill/heal pulse), and the perf-harness
+``fleet-lan``, ``fleet-mega`` (§4.3 scale-out), ``fleet-failover``
+(a mid-run shard kill/heal pulse) and ``fleet-brownout`` (a gray-failure
+pulse — degraded, lossy or stalled shards — with optional client retry
+policies and health-driven ejection), and the perf-harness
 workloads ``stress-mega`` (allocator-bound), ``thinner-mega``
 (auction-bound, ≥50k clients) and ``soa-mega`` (array-bound, ≥200k clients
 through the struct-of-arrays vectorized allocator path).
@@ -808,6 +810,137 @@ def fleet_failover(
             heal_at_s,
             repin_ttl_s=repin_ttl_s,
             sample_interval_s=sample_interval_s,
+        ),
+    )
+
+
+@register("fleet-brownout")
+def fleet_brownout(
+    good_clients: int = 25,
+    bad_clients: int = 25,
+    thinner_shards: int = 4,
+    shard_policy: str = "hash",
+    admission_mode: str = "pooled",
+    capacity_rps: float = 100.0,
+    defense: str = "speakup",
+    fault: str = "stall",
+    fault_shard: int = 1,
+    degrade_factor: float = 0.05,
+    loss_p: float = 0.6,
+    loss_scope: str = "fleet",
+    start_at_s: Optional[float] = None,
+    end_at_s: Optional[float] = None,
+    retry: str = "none",
+    health_probe: bool = False,
+    probe_interval_s: float = 0.5,
+    eject_fraction: float = 0.3,
+    holddown_s: float = 3.0,
+    sample_interval_s: float = 0.25,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    provisioning_headroom: float = 2.0,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The fleet-lan workload through a mid-run gray-failure (brownout) pulse.
+
+    Unlike ``fleet-failover``'s fail-stop kill, the faulted shard *stays up*
+    — ``fault`` picks how it misbehaves between ``start_at_s`` (default: a
+    third of the run) and ``end_at_s`` (default: two thirds):
+
+    * ``"degrade"`` — the shard's access link drops to ``degrade_factor``
+      of its capacity (payments trickle; admission keeps running);
+    * ``"lossy"`` — completed uploads are dropped with probability
+      ``loss_p``, on ``fault_shard`` only (``loss_scope="shard"``) or on
+      every shard (``"fleet"``, the retry-amplification workload);
+    * ``"stall"`` — the shard stops granting admission but keeps accepting
+      bytes, starving its pinned clients (the ejection workload).
+
+    ``retry`` arms the clients' upload retry discipline: ``"none"`` (the
+    historical fire-and-forget), ``"naive"`` (immediate unbudgeted retries —
+    measure the amplification), or ``"budgeted"`` (token-bucket budget plus
+    decorrelated-jitter backoff).  ``health_probe`` arms the fleet's
+    :class:`~repro.core.fleet.HealthProber`, which should eject the faulted
+    shard and route its clients around the brownout.  Shard links split
+    ``provisioning_headroom`` times the aggregate client bandwidth, so a
+    degraded link actually bites.  ``repro.cli brownout`` runs the
+    retry-amplification and ejection comparisons at this scenario's knobs.
+    """
+    from repro.clients.base import RetryPolicy
+    from repro.core.fleet import HealthProbeSpec
+    from repro.faults.spec import gray_pulse
+
+    if fault not in ("degrade", "lossy", "stall"):
+        raise ExperimentError(
+            f"unknown fault {fault!r}; expected 'degrade', 'lossy' or 'stall'"
+        )
+    if loss_scope not in ("shard", "fleet"):
+        raise ExperimentError(
+            f"unknown loss_scope {loss_scope!r}; expected 'shard' or 'fleet'"
+        )
+    if retry not in ("none", "naive", "budgeted"):
+        raise ExperimentError(
+            f"unknown retry preset {retry!r}; expected 'none', 'naive' or 'budgeted'"
+        )
+    start = duration / 3.0 if start_at_s is None else start_at_s
+    end = 2.0 * duration / 3.0 if end_at_s is None else end_at_s
+    if fault == "lossy" and loss_scope == "fleet":
+        fault_shards = tuple(range(thinner_shards))
+    else:
+        fault_shards = (fault_shard,)
+    plan = gray_pulse(
+        fault_shards,
+        start,
+        end,
+        factor=degrade_factor if fault == "degrade" else None,
+        loss_p=loss_p if fault == "lossy" else None,
+        stall=fault == "stall",
+        sample_interval_s=sample_interval_s,
+    )
+    retry_policy = {
+        "none": None,
+        "naive": RetryPolicy.naive(),
+        "budgeted": RetryPolicy.budgeted(),
+    }[retry]
+    total = good_clients + bad_clients
+    fleet_bandwidth = total * client_bandwidth_bps * provisioning_headroom
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+            ),
+        )
+    return ScenarioSpec(
+        name="fleet-brownout",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=fleet_bandwidth),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+        thinner_shards=thinner_shards,
+        shard_policy=shard_policy,
+        admission_mode=admission_mode,
+        fault_plan=plan,
+        retry_policy=retry_policy,
+        health_probe=(
+            HealthProbeSpec(
+                interval_s=probe_interval_s,
+                eject_fraction=eject_fraction,
+                holddown_s=holddown_s,
+            )
+            if health_probe
+            else None
         ),
     )
 

@@ -20,9 +20,10 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import DEFAULT_CLIENT_BANDWIDTH
-from repro.errors import DefenseError, ExperimentError, FaultError
+from repro.errors import ClientError, DefenseError, ExperimentError, FaultError, ThinnerError
+from repro.clients.base import RetryPolicy
 from repro.clients.population import PopulationSpec, build_population
-from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES
+from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES, HealthProbeSpec
 from repro.core.frontend import Deployment, DeploymentConfig
 from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.faults.spec import FaultPlan
@@ -151,6 +152,9 @@ class GroupSpec:
     extra_delay_s: float = 0.0
     behind_bottleneck: bool = False
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    #: Per-group retry discipline; overrides the scenario-level
+    #: :attr:`ScenarioSpec.retry_policy` when set.
+    retry_policy: Optional[RetryPolicy] = None
 
     def validate(self) -> None:
         if self.count < 0:
@@ -166,9 +170,17 @@ class GroupSpec:
         if self.extra_delay_s < 0:
             raise ExperimentError("group extra_delay_s must be non-negative")
         self.arrival.validate()
+        if self.retry_policy is not None:
+            try:
+                self.retry_policy.validate()
+            except ClientError as error:
+                raise ExperimentError(str(error)) from None
 
-    def population_spec(self) -> PopulationSpec:
+    def population_spec(
+        self, default_retry_policy: Optional[RetryPolicy] = None
+    ) -> PopulationSpec:
         """The runtime population entry this group expands to."""
+        policy = self.retry_policy if self.retry_policy is not None else default_retry_policy
         return PopulationSpec(
             count=self.count,
             client_class=self.client_class,
@@ -176,6 +188,7 @@ class GroupSpec:
             window=self.window,
             category=self.category,
             rate_modulator=self.arrival.modulator(),
+            retry_policy=policy,
         )
 
     @classmethod
@@ -186,6 +199,9 @@ class GroupSpec:
             payload["arrival"] = ArrivalSpec.from_dict(arrival)
         elif isinstance(arrival, ArrivalSpec):
             payload["arrival"] = arrival
+        retry_policy = payload.get("retry_policy")
+        if isinstance(retry_policy, dict):
+            payload["retry_policy"] = RetryPolicy.from_dict(retry_policy)
         return cls(**payload)
 
 
@@ -274,6 +290,15 @@ class ScenarioSpec:
     #: fields (``"fault_plan.repin_ttl_s"``) and individual events
     #: (``"fault_plan.events.0.at_s"``).
     fault_plan: Optional[FaultPlan] = None
+    #: Default retry discipline for every group (per-group ``retry_policy``
+    #: overrides win).  ``None`` keeps clients fire-and-forget, bit for bit.
+    #: Sweepable down to policy fields (``"retry_policy.budget"``).
+    retry_policy: Optional[RetryPolicy] = None
+    #: Health-driven shard ejection (see
+    #: :class:`~repro.core.fleet.HealthProber`); needs ``thinner_shards > 1``.
+    #: ``None`` builds no prober and stays byte-identical to a spec without
+    #: the field.  Sweepable (``"health_probe.eject_fraction"``).
+    health_probe: Optional[HealthProbeSpec] = None
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
 
     # -- validation -------------------------------------------------------------
@@ -320,6 +345,21 @@ class ScenarioSpec:
                 raise ExperimentError(
                     "a fault_plan with events needs thinner_shards > 1 "
                     "(a single-thinner deployment has nothing to fail over to)"
+                )
+        if self.retry_policy is not None:
+            try:
+                self.retry_policy.validate()
+            except ClientError as error:
+                raise ExperimentError(str(error)) from None
+        if self.health_probe is not None:
+            try:
+                self.health_probe.validate()
+            except ThinnerError as error:
+                raise ExperimentError(str(error)) from None
+            if self.thinner_shards < 2:
+                raise ExperimentError(
+                    "health_probe needs thinner_shards > 1 (ejection compares "
+                    "each shard against the fleet median)"
                 )
         if self.total_clients() == 0 and self.topology.kind != "dumbbell":
             raise ExperimentError("scenario needs at least one client")
@@ -380,6 +420,7 @@ class ScenarioSpec:
             shard_policy=self.shard_policy,
             admission_mode=self.admission_mode,
             fault_plan=self.fault_plan,
+            health_probe=self.health_probe,
             **dict(self.config_overrides),
         )
 
@@ -443,7 +484,9 @@ class ScenarioSpec:
 
         deployment = Deployment(topology, thinner_host, config)
         build_population(
-            deployment, hosts, [group.population_spec() for group in ordered]
+            deployment,
+            hosts,
+            [group.population_spec(self.retry_policy) for group in ordered],
         )
         return deployment
 
@@ -465,7 +508,7 @@ class ScenarioSpec:
         payload = {
             "name": self.name,
             "topology": asdict(self.topology),
-            "groups": [asdict(group) for group in self.groups],
+            "groups": [_group_dict(group) for group in self.groups],
             "capacity_rps": self.capacity_rps,
             "defense": self.defense,
             "duration": self.duration,
@@ -480,6 +523,10 @@ class ScenarioSpec:
             payload["defense_spec"] = self.defense_spec.to_dict()
         if self.fault_plan is not None:
             payload["fault_plan"] = self.fault_plan.to_dict()
+        if self.retry_policy is not None:
+            payload["retry_policy"] = self.retry_policy.to_dict()
+        if self.health_probe is not None:
+            payload["health_probe"] = self.health_probe.to_dict()
         return payload
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -504,6 +551,12 @@ class ScenarioSpec:
         fault_plan = payload.get("fault_plan")
         if isinstance(fault_plan, dict):
             payload["fault_plan"] = FaultPlan.from_dict(fault_plan)
+        retry_policy = payload.get("retry_policy")
+        if isinstance(retry_policy, dict):
+            payload["retry_policy"] = RetryPolicy.from_dict(retry_policy)
+        health_probe = payload.get("health_probe")
+        if isinstance(health_probe, dict):
+            payload["health_probe"] = HealthProbeSpec.from_dict(health_probe)
         payload["config_overrides"] = freeze_overrides(
             payload.get("config_overrides", ())
         )
@@ -512,6 +565,18 @@ class ScenarioSpec:
     @classmethod
     def from_json(cls, document: str) -> "ScenarioSpec":
         return cls.from_dict(json.loads(document))
+
+
+def _group_dict(group: GroupSpec) -> Dict[str, Any]:
+    """``asdict`` with the ``retry_policy`` key stripped when unset.
+
+    Keeps policy-free group serialisations byte-identical to releases that
+    predate client retry policies.
+    """
+    payload = asdict(group)
+    if payload.get("retry_policy") is None:
+        payload.pop("retry_policy", None)
+    return payload
 
 
 def freeze_overrides(overrides: Any) -> Tuple[Tuple[str, Any], ...]:

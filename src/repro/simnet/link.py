@@ -47,6 +47,7 @@ class Link:
     __slots__ = (
         "name",
         "capacity_bps",
+        "base_capacity_bps",
         "delay_s",
         "buffer_bytes",
         "is_up",
@@ -75,6 +76,10 @@ class Link:
             raise TopologyError(f"link {name!r}: delay must be non-negative, got {delay_s}")
         self.name = name
         self.capacity_bps = float(capacity_bps)
+        #: The configured capacity, the fixed point :meth:`set_capacity_factor`
+        #: scales from — so repeated degrades never compound and ``factor=1.0``
+        #: restores the original bit-for-bit.
+        self.base_capacity_bps = float(capacity_bps)
         self.delay_s = float(delay_s)
         self.buffer_bytes = float(buffer_bytes if buffer_bytes is not None else self.DEFAULT_BUFFER_BYTES)
         #: Administrative liveness: the fault injector marks a killed shard's
@@ -116,10 +121,35 @@ class Link:
         """Worst-case drop-tail queueing delay (full buffer drained at capacity)."""
         return (self.buffer_bytes * 8.0) / self.capacity_bps
 
+    def set_capacity_factor(self, factor: float, network=None) -> None:
+        """Scale the capacity to ``factor * base_capacity_bps``.
+
+        The gray-failure ``degrade`` fault: the link stays up (``is_up`` is
+        untouched) but carries less.  Always scales from the *base* capacity,
+        so degrades are absolute rather than compounding and ``factor=1.0``
+        restores the configured capacity exactly.  With a ``network`` the
+        change flows through :meth:`FluidNetwork.set_link_capacity`, which
+        re-derives every crossing flow's bound and reallocates rates through
+        both the scalar and vectorized waterfill paths; without one (links
+        not yet attached to a network) only the stored capacity moves.
+        """
+        if factor <= 0:
+            raise TopologyError(
+                f"link {self.name!r}: capacity factor must be positive, got {factor}"
+            )
+        target = self.base_capacity_bps if factor == 1.0 else self.base_capacity_bps * factor
+        if network is not None:
+            network.set_link_capacity(self, target)
+            return
+        self.capacity_bps = target
+        if self._soa is not None:
+            self._soa.l_cap[self._lid] = target
+
     # -- allocator bookkeeping (driven by FluidNetwork) -------------------------
 
     def _reset_runtime(self) -> None:
         """Forget all allocator state (a new network took over the topology)."""
+        self.capacity_bps = self.base_capacity_bps
         self._flow_count = 0
         self._flows = {}
         self._entry_sums = {}

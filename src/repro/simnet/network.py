@@ -316,6 +316,88 @@ class FluidNetwork:
             for i in range(1, len(path)):
                 path[i]._add_entry_load(entry, delta)
 
+    def set_link_capacity(self, link: Link, capacity_bps: float) -> None:
+        """Change a link's capacity mid-run and re-derive every affected bound.
+
+        The mechanics mirror :meth:`set_rate_cap`, but one link touches many
+        flows: every flow crossing ``link`` is marked dirty (so the flush
+        component covers capacity *increases*, where nothing need be
+        saturated afterwards), the capacity moves in both the scalar
+        attribute and the SoA ``l_cap`` mirror (each waterfill path reads
+        its own), entry-group caps where ``link`` is the entry are
+        re-clamped, and each crossing flow's static path bound is recomputed
+        with the same potential-load delta walk ``set_rate_cap`` uses.  The
+        rate caches need no invalidation: their keys embed the constraint
+        capacities on both paths.
+        """
+        if capacity_bps <= 0:
+            raise FlowError(
+                f"link capacity must be positive, got {capacity_bps} for {link.name!r}"
+            )
+        old_cap = link.capacity_bps
+        if capacity_bps == old_cap:
+            return
+        soa = self.soa
+        if link._soa is not soa:
+            soa.register_link(link)
+        flows = list(link._flows)
+        for flow in flows:
+            self._note_change(flow.path, flow._path_lids, flow)
+        link.capacity_bps = capacity_bps
+        soa.l_cap[link._lid] = capacity_bps
+        # Entry-group re-clamp: groups entering the network at ``link`` are
+        # capped at its capacity on every downstream link; shift each
+        # downstream potential by the change in min(cap, group_sum).  Must
+        # happen before the per-flow bound deltas below, which already use
+        # the new capacity inside _add_entry_load.
+        entry_key = id(link)
+        seen: set = set()
+        for flow in flows:
+            path = flow.path
+            if path[0] is not link:
+                continue
+            for i in range(1, len(path)):
+                downstream = path[i]
+                mark = id(downstream)
+                if mark in seen:
+                    continue
+                seen.add(mark)
+                group_sum = downstream._entry_sums.get(entry_key)
+                if group_sum is None:
+                    continue
+                old_capped = old_cap if group_sum > old_cap else group_sum
+                new_capped = capacity_bps if group_sum > capacity_bps else group_sum
+                if new_capped != old_capped:
+                    dsoa = downstream._soa
+                    if dsoa is not None:
+                        dsoa.lm_pot[downstream._lid] += new_capped - old_capped
+                    else:
+                        downstream._spot += new_capped - old_capped
+        f_cap = soa.fm_cap
+        f_bound = soa.fm_bound
+        pot = soa.lm_pot
+        for flow in flows:
+            path = flow.path
+            new_min = path[0].capacity_bps
+            for crossed in path:
+                if crossed.capacity_bps < new_min:
+                    new_min = crossed.capacity_bps
+            flow._path_min_cap = new_min
+            fid = flow._fid
+            new_bound = new_min
+            rate_cap = f_cap[fid]
+            if rate_cap < new_bound:
+                new_bound = rate_cap
+            old_bound = f_bound[fid]
+            if new_bound != old_bound:
+                f_bound[fid] = new_bound
+                delta = new_bound - old_bound
+                entry = path[0]
+                lids = flow._path_lids
+                pot[lids[0]] += delta
+                for i in range(1, len(path)):
+                    path[i]._add_entry_load(entry, delta)
+
     def sync(self) -> None:
         """Flush pending rate updates, then bring every active flow's
         ``delivered_bytes`` up to the current time."""

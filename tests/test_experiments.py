@@ -157,3 +157,44 @@ def test_empty_parameter_sequences_yield_empty_rows():
     assert figure3_provisioning(SCALE, paper_capacities=()) == []
     assert figure4_5_costs(SCALE, paper_capacities=()) == []
     assert figure8_shared_bottleneck(SCALE, splits=()) == []
+
+
+def test_brownout_storm_budget_and_ejection_story():
+    """The gray-failure brownout demonstrates all three robustness claims.
+
+    At test scale: (a) naive retries amplify fleet load by more than the
+    2x floor during a fleet-wide lossy pulse, (b) a retry budget holds
+    amplification at or below the 1.2x ceiling under the same pulse, and
+    (c) with a stalled shard, the health prober's ejection strictly beats
+    the no-prober arm on good requests served inside the pulse window.
+    """
+    from repro.experiments.brownout import (
+        BUDGETED_AMPLIFICATION_CEILING,
+        NAIVE_AMPLIFICATION_FLOOR,
+        brownout_comparison,
+        format_brownout,
+    )
+
+    outcome = brownout_comparison(ExperimentScale.test())
+    assert outcome.naive_amplification > NAIVE_AMPLIFICATION_FLOOR
+    assert outcome.budgeted_amplification <= BUDGETED_AMPLIFICATION_CEILING
+    assert outcome.storm_demonstrated and outcome.budget_held
+    assert outcome.retries_suppressed > 0
+    assert outcome.ejections >= 1
+    assert outcome.probe_served_in_pulse > outcome.no_probe_served_in_pulse
+    assert outcome.ejection_won
+    assert outcome.ejection_gain > 1.0
+    text = format_brownout(outcome)
+    assert "amplification" in text
+    assert "ejection" in text
+
+
+@pytest.mark.slow
+def test_brownout_thresholds_hold_at_default_scale():
+    """The acceptance thresholds hold at the CLI's default scale too."""
+    from repro.experiments.brownout import brownout_comparison
+
+    outcome = brownout_comparison(ExperimentScale())
+    assert outcome.storm_demonstrated
+    assert outcome.budget_held
+    assert outcome.ejection_won

@@ -25,13 +25,19 @@ from pathlib import Path
 
 import pytest
 
-from repro.clients.population import build_mixed_population
+from repro.clients.base import RetryPolicy
+from repro.clients.population import (
+    PopulationSpec,
+    build_mixed_population,
+    build_population,
+)
 from repro.constants import MBIT
 from repro.core.fleet import PooledAdmission
 from repro.core.frontend import Deployment, DeploymentConfig
 from repro.errors import ExperimentError, FaultError
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
-from repro.faults.spec import kill_heal_pulse
+from repro.faults.spec import gray_pulse, kill_heal_pulse
+from repro.httpd.messages import RequestState
 from repro.scenarios.registry import build_scenario
 from repro.simnet.topology import build_fleet, uniform_bandwidths
 
@@ -97,6 +103,50 @@ def test_kill_heal_pulse_builds_one_pulse():
     assert plan.repin_ttl_s == 1.0
     assert not plan.is_empty
     assert FaultPlan().is_empty
+
+
+def test_gray_pulse_builds_composed_events():
+    plan = gray_pulse((0, 2), 3.0, 9.0, factor=0.1, loss_p=0.5, stall=True)
+    assert len(plan.events) == 12  # 3 axes x start/stop x 2 shards
+    shaped = [(e.at_s, e.action, e.shard) for e in plan.events]
+    assert (3.0, "degrade", 0) in shaped
+    assert (9.0, "lossless", 2) in shaped
+    plan.validate(shards=3, horizon_s=10.0)
+    with pytest.raises(FaultError, match="at least one"):
+        gray_pulse((0,), 3.0, 9.0)
+    with pytest.raises(FaultError):
+        gray_pulse((0,), 9.0, 3.0, stall=True)
+
+
+def test_gray_event_validation():
+    with pytest.raises(FaultError):
+        FaultEvent(at_s=1.0, action="degrade", shard=0).validate()  # no factor
+    with pytest.raises(FaultError):
+        FaultEvent(at_s=1.0, action="degrade", shard=0, factor=0.0).validate()
+    with pytest.raises(FaultError):
+        FaultEvent(at_s=1.0, action="lossy", shard=0, loss_p=1.5).validate()
+    with pytest.raises(FaultError):
+        FaultEvent(at_s=1.0, action="kill", shard=0, factor=0.5).validate()
+    with pytest.raises(FaultError):
+        FaultEvent(at_s=1.0, action="stall", shard=0, loss_p=0.5).validate()
+    # Gray events round-trip with their parameters.
+    event = FaultEvent(at_s=1.0, action="degrade", shard=2, factor=0.25)
+    assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+def test_strict_horizon_validation_lists_every_problem():
+    plan = FaultPlan(
+        events=(
+            FaultEvent(at_s=99.0, action="kill", shard=0),
+            FaultEvent(at_s=2.0, action="heal", shard=1),  # never killed
+            FaultEvent(at_s=3.0, action="restore", shard=2),  # never degraded
+        )
+    )
+    plan.validate(shards=3)  # lenient mode: stop no-ops are legal
+    with pytest.raises(FaultError, match=r"3 problem"):
+        plan.validate(shards=3, horizon_s=10.0)
+    # A matched pulse inside the horizon is fine.
+    gray_pulse((1,), 2.0, 8.0, stall=True).validate(shards=3, horizon_s=10.0)
 
 
 # ---------------------------------------------------------------------------
@@ -320,6 +370,195 @@ def test_pooled_fleet_survives_shard_death_end_to_end():
 
 
 # ---------------------------------------------------------------------------
+# Gray-failure semantics: degrade, lossy, stall
+# ---------------------------------------------------------------------------
+
+
+def _build_faulted_fleet(plan, good=6, bad=6, shards=3, retry_policy=None, **kwargs):
+    """Like :func:`run_faulted_fleet` but without running (and with retries)."""
+    topology, hosts, thinner_hosts = build_fleet(
+        uniform_bandwidths(good + bad, 2 * MBIT), shards, **kwargs
+    )
+    config = DeploymentConfig(
+        server_capacity_rps=18.0, seed=0, thinner_shards=shards, fault_plan=plan
+    )
+    deployment = Deployment(topology, thinner_hosts, config)
+    specs = [
+        PopulationSpec(count=good, client_class="good", retry_policy=retry_policy),
+        PopulationSpec(count=bad, client_class="bad", retry_policy=retry_policy),
+    ]
+    build_population(deployment, hosts, specs)
+    return deployment
+
+
+def test_degrade_scales_the_access_link_and_restores():
+    plan = gray_pulse((1,), 3.0, 8.0, factor=0.25)
+    deployment = _build_faulted_fleet(plan, shard_bandwidth_bps=12 * MBIT)
+    host = deployment.thinner_hosts[1]
+    base_up = host.access.up.capacity_bps
+    base_down = host.access.down.capacity_bps
+    observed = {}
+
+    def peek():
+        observed["mid"] = (host.access.up.capacity_bps, host.access.up.is_up)
+
+    deployment.engine.schedule_at(5.0, peek)
+    deployment.run(12.0)
+    # Mid-pulse the link ran at a quarter capacity but never went down.
+    assert observed["mid"] == (0.25 * base_up, True)
+    # The restore put both directions back at their base capacity.
+    assert host.access.up.capacity_bps == base_up
+    assert host.access.down.capacity_bps == base_down
+    injector = deployment.fault_injector
+    assert injector.degrades == 1
+    assert injector.capacity_factor == [1.0, 1.0, 1.0]
+    assert [action for _t, action, _s in injector.timeline] == ["degrade", "restore"]
+    # Degrades never touch the dispatch masks.
+    assert injector.alive == [True, True, True]
+    assert deployment._router.alive == [True, True, True]
+    _assert_invariants(deployment)
+
+
+def test_lossy_drops_completed_uploads():
+    plan = gray_pulse((0, 1, 2), 2.0, 10.0, loss_p=0.5)
+    deployment = _build_faulted_fleet(plan)
+    deployment.run(12.0)
+    injector = deployment.fault_injector
+    assert injector.lossy_uploads > 0
+    assert injector.loss_p == [0.0, 0.0, 0.0]  # lossless restored
+    # Without a retry policy every lost upload finalises as a client drop.
+    assert sum(client.stats.dropped for client in deployment.clients) > 0
+    _assert_invariants(deployment)
+    result = deployment.results()
+    assert result.failover.lossy_uploads == injector.lossy_uploads
+
+
+def test_stall_freezes_admission_and_resume_recovers():
+    plan = gray_pulse((1,), 3.0, 8.0, stall=True)
+    deployment = _build_faulted_fleet(plan)
+    snapshots = {}
+
+    def snap(label):
+        snapshots[label] = [t.stats.requests_admitted for t in deployment.thinners]
+
+    deployment.engine.schedule_at(3.5, snap, "early")
+    deployment.engine.schedule_at(7.5, snap, "late")
+    deployment.run(12.0)
+    injector = deployment.fault_injector
+    assert injector.stalls == 1
+    assert injector.stalled == [False, False, False]  # resumed
+    # The stalled shard granted nothing while stalled; the others kept going.
+    assert snapshots["late"][1] == snapshots["early"][1]
+    assert sum(snapshots["late"]) > sum(snapshots["early"])
+    # After the resume the shard grants admission again.
+    final = [t.stats.requests_admitted for t in deployment.thinners]
+    assert final[1] > snapshots["late"][1]
+    _assert_invariants(deployment)
+
+
+def test_retries_resend_lost_uploads_and_budget_suppresses():
+    plan = gray_pulse((0, 1, 2), 2.0, 10.0, loss_p=0.5)
+    naive = _build_faulted_fleet(plan, retry_policy=RetryPolicy.naive())
+    naive.run(12.0)
+    naive_result = naive.results()
+    naive_retries = (
+        naive_result.good.retries_attempted + naive_result.bad.retries_attempted
+    )
+    assert naive_retries > 0
+    assert naive_result.failover.retries_attempted == naive_retries
+    _assert_invariants(naive)
+
+    budgeted = _build_faulted_fleet(plan, retry_policy=RetryPolicy.budgeted())
+    budgeted.run(12.0)
+    budgeted_result = budgeted.results()
+    budgeted_retries = (
+        budgeted_result.good.retries_attempted + budgeted_result.bad.retries_attempted
+    )
+    suppressed = (
+        budgeted_result.good.retries_suppressed + budgeted_result.bad.retries_suppressed
+    )
+    # The token bucket retries less and records what it refused.
+    assert 0 < budgeted_retries < naive_retries
+    assert suppressed > 0
+    _assert_invariants(budgeted)
+    # The retry counters survive the metrics round trip.
+    from repro.metrics.collector import RunResult
+
+    payload = budgeted_result.to_dict()
+    assert RunResult.from_dict(payload).to_dict() == payload
+
+
+def test_retry_policy_validation_and_round_trip():
+    policy = RetryPolicy.budgeted()
+    assert RetryPolicy.from_dict(policy.to_dict()) == policy
+    assert RetryPolicy.from_dict(RetryPolicy.naive().to_dict()) == RetryPolicy.naive()
+    from repro.errors import ClientError
+
+    for bad in (
+        dict(base_backoff_s=-1.0),
+        dict(max_backoff_s=-0.5),
+        dict(max_attempts=-1),
+        dict(budget=-1.0),
+        dict(refill_per_s=-1.0),
+    ):
+        with pytest.raises(ClientError):
+            replace(policy, **bad).validate()
+
+
+# ---------------------------------------------------------------------------
+# The kill/deadline double-count regression (the sweep must not re-deny)
+# ---------------------------------------------------------------------------
+
+
+def test_deny_is_a_noop_for_requests_already_finalised():
+    deployment = _build_faulted_fleet(None, good=1, bad=1, shards=2)
+    deployment.run(1.0)
+    bad_client = next(c for c in deployment.clients if c.client_class == "bad")
+    assert bad_client.backlog  # rate 40/s against window 20 backs up fast
+    request = bad_client.backlog[0]
+    # Simulate a kill (or thinner drop) landing exactly on the deadline
+    # tick: the request reached a terminal state before the sweep saw it.
+    request.state = RequestState.DROPPED
+    denied_before = bad_client.stats.denied
+    bad_client._deny(request)
+    assert bad_client.stats.denied == denied_before
+    # A pending request still gets denied exactly once.
+    fresh = bad_client.backlog[1]
+    bad_client._deny(fresh)
+    assert bad_client.stats.denied == denied_before + 1
+    assert fresh.state is RequestState.DENIED
+
+
+def test_kill_on_exact_backlog_deadline_keeps_the_identity():
+    # Phase 1: a fault-free run discovers a real backlog-head deadline on a
+    # real shard.  Phase 2 re-runs the same seed with a kill scheduled at
+    # exactly that tick, so the shard_failed abort and the 10-second denial
+    # sweep land in the same engine timestamp.
+    probe = _build_faulted_fleet(None)
+    probe.run(6.0)
+    candidates = sorted(
+        (client.backlog[0].issued_at + client.backlog_timeout, client.shard)
+        for client in probe.clients
+        if client.backlog
+    )
+    assert candidates, "expected backlogged clients in an oversubscribed fleet"
+    deadline, shard = candidates[0]
+    plan = kill_heal_pulse(shard, kill_at_s=deadline, heal_at_s=deadline + 100.0)
+    deployment = _build_faulted_fleet(plan)
+    deployment.run(deadline + 2.0)
+    assert deployment.fault_injector.kills == 1
+    for client in deployment.clients:
+        stats = client.stats
+        assert stats.issued == (
+            stats.served
+            + stats.denied
+            + stats.dropped
+            + client.outstanding
+            + len(client.backlog)
+        ), "a request was double-counted at the kill/deadline tick"
+
+
+# ---------------------------------------------------------------------------
 # Validation at the deployment boundary
 # ---------------------------------------------------------------------------
 
@@ -492,3 +731,98 @@ def test_random_schedules_are_deterministic(seed):
     _d1, first = run_faulted_fleet(plan, duration=10.0)
     _d2, second = run_faulted_fleet(plan, duration=10.0)
     assert first.to_dict() == second.to_dict()
+
+
+def _random_gray_plan(seed, shards=3, duration=10.0, events=10):
+    """A schedule drawing from the whole fault vocabulary, gray and binary."""
+    rng = random.Random(seed)
+    drawn = []
+    for _ in range(events):
+        action = rng.choice(
+            ("kill", "heal", "degrade", "restore", "lossy", "lossless", "stall", "resume")
+        )
+        kwargs = {}
+        if action == "degrade":
+            kwargs["factor"] = round(rng.uniform(0.05, 1.0), 3)
+        elif action == "lossy":
+            kwargs["loss_p"] = round(rng.uniform(0.0, 0.9), 3)
+        drawn.append(
+            FaultEvent(
+                at_s=round(rng.uniform(0.5, duration - 0.5), 3),
+                action=action,
+                shard=rng.randrange(shards),
+                **kwargs,
+            )
+        )
+    return FaultPlan(events=tuple(drawn), repin_ttl_s=rng.choice((0.25, 1.0, 3.0)))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("mode", ADMISSION_MODES)
+def test_random_gray_schedules_preserve_invariants(seed, mode):
+    plan = _random_gray_plan(seed)
+    deployment, result = run_faulted_fleet(plan, duration=10.0, admission_mode=mode)
+    injector = deployment.fault_injector
+    _assert_invariants(deployment)
+    for shard, host in enumerate(deployment.thinner_hosts):
+        # Administrative liveness tracks the injector's view exactly.
+        assert host.access.up.is_up == injector.alive[shard]
+        assert host.access.down.is_up == injector.alive[shard]
+        # Degrades scale from the base capacity, so the final factor fully
+        # determines the final capacity — no compounding, no drift.
+        factor = injector.capacity_factor[shard]
+        assert 0.0 < factor <= 1.0
+        assert host.access.up.capacity_bps == pytest.approx(
+            host.access.up.base_capacity_bps * factor
+        )
+        assert host.access.down.capacity_bps == pytest.approx(
+            host.access.down.base_capacity_bps * factor
+        )
+        assert 0.0 <= injector.loss_p[shard] <= 1.0
+    # Every executed transition is on the timeline; no counter double-counts.
+    assert injector.heals <= injector.kills
+    assert result.failover.orphaned_requests == injector.orphaned_requests
+    assert result.failover.lossy_uploads == injector.lossy_uploads
+    assert result.failover.degrades == injector.degrades
+    assert result.failover.stalls == injector.stalls
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_gray_schedules_are_deterministic(seed):
+    plan = _random_gray_plan(seed)
+    _d1, first = run_faulted_fleet(plan, duration=10.0)
+    _d2, second = run_faulted_fleet(plan, duration=10.0)
+    assert first.to_dict() == second.to_dict()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [4, 5, 6])
+def test_random_gray_schedules_with_retries_preserve_accounting(seed):
+    """Retries under random gray faults never break request conservation."""
+    plan = _random_gray_plan(seed, events=8)
+    topology, hosts, thinner_hosts = build_fleet(uniform_bandwidths(12, 2 * MBIT), 3)
+    config = DeploymentConfig(
+        server_capacity_rps=18.0, seed=0, thinner_shards=3, fault_plan=plan
+    )
+    deployment = Deployment(topology, thinner_hosts, config)
+    policy = RetryPolicy.budgeted()
+    build_population(
+        deployment,
+        hosts,
+        [
+            PopulationSpec(count=6, client_class="good", retry_policy=policy),
+            PopulationSpec(count=6, client_class="bad", retry_policy=policy),
+        ],
+    )
+    deployment.run(10.0)
+    injector = deployment.fault_injector
+    _assert_invariants(deployment)
+    retries = sum(client.stats.retries_attempted for client in deployment.clients)
+    suppressed = sum(client.stats.retries_suppressed for client in deployment.clients)
+    assert retries >= 0 and suppressed >= 0
+    failover = deployment.results().failover
+    assert failover.retries_attempted == retries
+    assert failover.retries_suppressed == suppressed
+    assert failover.lossy_uploads == injector.lossy_uploads

@@ -11,7 +11,7 @@ import pytest
 from repro.analysis.provisioning import payment_traffic_estimate
 from repro.clients.population import build_mixed_population
 from repro.constants import MBIT
-from repro.core.fleet import PooledAdmission, ShardRouter
+from repro.core.fleet import HealthProbeSpec, PooledAdmission, ShardRouter
 from repro.core.frontend import Deployment, DeploymentConfig
 from repro.errors import ExperimentError, ThinnerError, TopologyError
 from repro.experiments.base import ExperimentScale
@@ -324,3 +324,115 @@ def test_format_fleet_renders_a_table():
     table = format_fleet(rows)
     assert "Section 4.3" in table
     assert "predicted/shard" in table
+
+
+# ---------------------------------------------------------------------------
+# Health prober: gray-failure ejection and probation readmission
+# ---------------------------------------------------------------------------
+
+
+def test_probe_spec_validates_and_round_trips():
+    spec = HealthProbeSpec(interval_s=0.25, alpha=0.5, eject_fraction=0.2)
+    spec.validate()
+    assert HealthProbeSpec.from_dict(spec.to_dict()) == spec
+    for bad in (
+        dict(interval_s=0.0),
+        dict(alpha=0.0),
+        dict(alpha=1.5),
+        dict(eject_fraction=0.0),
+        dict(eject_fraction=1.0),
+        dict(holddown_s=-1.0),
+        dict(min_samples=0),
+    ):
+        with pytest.raises(ThinnerError):
+            HealthProbeSpec(**bad).validate()
+
+
+def test_router_ejection_mask_narrows_reassign():
+    router = ShardRouter(3, "least-loaded")
+    for i in range(6):
+        router.assign(f"c{i}")
+    router.set_ejected(1, True)
+    assert router.routable_shards() == [0, 2]
+    assert router.live_shards() == [0, 1, 2]  # liveness mask untouched
+    # Reassignment lands only on routable shards.
+    for i in range(6):
+        assert router.reassign(f"c{i}", i % 3) in (0, 2)
+    # Readmission widens the candidate set again.
+    router.set_ejected(1, False)
+    assert router.routable_shards() == [0, 1, 2]
+    with pytest.raises(ThinnerError):
+        router.set_ejected(9, True)
+
+
+def test_router_prefers_sick_shard_over_no_shard():
+    router = ShardRouter(2, "hash")
+    router.assign("c0")
+    router.set_alive(1, False)
+    router.set_ejected(0, True)
+    # Everything routable is gone: liveness wins over the ejection mask.
+    assert router.reassign("c0", 0) == 0
+
+
+def test_prober_ejects_a_stalled_shard_and_readmits_after_holddown():
+    spec = build_scenario(
+        "fleet-brownout",
+        good_clients=5,
+        bad_clients=5,
+        thinner_shards=4,
+        capacity_rps=20.0,
+        duration=12.0,
+        fault="stall",
+        fault_shard=0,
+        start_at_s=4.0,
+        end_at_s=8.0,
+        health_probe=True,
+        probe_interval_s=0.5,
+        holddown_s=3.0,
+    )
+    deployment = spec.build()
+    deployment.run(spec.duration)
+    result = deployment.results()
+    prober = deployment.health_prober
+    assert prober is not None
+    assert prober.ejections >= 1
+    assert prober.readmits >= 1
+    # The eject precedes its readmit and names the stalled shard.
+    events = [(kind, shard) for _at, kind, shard in prober.timeline]
+    assert events.index(("eject", 0)) < events.index(("readmit", 0))
+    # Probation cleared every ejection by the end of the run.
+    assert deployment._router.ejected == [False, False, False, False]
+    # Re-pinned clients are sticky: nobody migrates back after readmission.
+    assert deployment._router.counts[0] == 0
+    assert sum(deployment._router.counts) == len(deployment.clients)
+    # The prober's story lands in the failover metrics and survives JSON.
+    failover = result.failover
+    assert failover.ejections == prober.ejections
+    assert failover.readmits == prober.readmits
+    assert failover.ejected_repins == prober.repinned_clients
+    round_tripped = type(failover).from_dict(failover.to_dict())
+    assert round_tripped.ejections == failover.ejections
+    assert round_tripped.readmits == failover.readmits
+
+
+def test_prober_is_quiet_on_a_healthy_fleet():
+    spec = build_scenario(
+        "fleet-brownout",
+        good_clients=5,
+        bad_clients=5,
+        thinner_shards=4,
+        capacity_rps=20.0,
+        duration=8.0,
+        fault="stall",
+        fault_shard=0,
+        start_at_s=20.0,  # pulse never lands inside the run
+        end_at_s=21.0,
+        health_probe=True,
+    )
+    deployment = spec.build()
+    deployment.run(spec.duration)
+    prober = deployment.health_prober
+    assert prober.ejections == 0
+    assert prober.readmits == 0
+    assert prober.probe_samples > 0
+    assert deployment._router.ejected == [False] * 4

@@ -89,14 +89,15 @@ def test_pinned_suite_shape():
     names = [case.name for case in BENCH_CASES]
     assert names == [
         "lan-small", "tiers-medium", "stress-mega", "thinner-mega", "fleet-mega",
-        "fleet-failover", "adaptive-pulse", "soa-mega",
+        "fleet-failover", "fleet-brownout", "adaptive-pulse", "soa-mega",
     ]
     assert BENCH_CASES[2].scenario == "stress-mega"
     assert BENCH_CASES[3].scenario == "thinner-mega"
     assert BENCH_CASES[4].scenario == "fleet-mega"
     assert BENCH_CASES[5].scenario == "fleet-failover"
-    assert BENCH_CASES[6].scenario == "adaptive-pulse"
-    assert BENCH_CASES[7].scenario == "soa-mega"
+    assert BENCH_CASES[6].scenario == "fleet-brownout"
+    assert BENCH_CASES[7].scenario == "adaptive-pulse"
+    assert BENCH_CASES[8].scenario == "soa-mega"
 
 
 def test_run_case_measures_and_fingerprints():

@@ -51,6 +51,10 @@ SMALL_SCENARIO_KWARGS = {
     "soa-mega": dict(good_clients=3, bad_clients=3, good_rate=2.0,
                      bad_rate=8.0, bad_window=2, capacity_rps=10.0,
                      duration=6.0),
+    "fleet-brownout": dict(good_clients=3, bad_clients=3, thinner_shards=2,
+                           fault="stall", fault_shard=1, start_at_s=2.0,
+                           end_at_s=4.0, retry="budgeted", health_probe=True,
+                           capacity_rps=10.0, duration=6.0),
 }
 
 
@@ -91,6 +95,56 @@ def test_spec_json_round_trip():
         config_overrides=(("model_slow_start", False),),
     )
     assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_spec_round_trips_retry_policy_and_health_probe():
+    from repro.clients.base import RetryPolicy
+    from repro.core.fleet import HealthProbeSpec
+
+    spec = _small_lan_spec(
+        retry_policy=RetryPolicy.budgeted(),
+        groups=(
+            GroupSpec(count=2, client_class="good",
+                      retry_policy=RetryPolicy.naive(max_attempts=3)),
+            GroupSpec(count=2, client_class="bad"),
+        ),
+    )
+    restored = ScenarioSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert restored.groups[0].retry_policy == RetryPolicy.naive(max_attempts=3)
+    # A group without its own policy serialises without the key at all, so
+    # pre-retry spec dicts and new ones stay byte-compatible.
+    payload = spec.to_dict()
+    assert "retry_policy" in payload["groups"][0]
+    assert "retry_policy" not in payload["groups"][1]
+
+    fleet = _small_lan_spec(
+        topology=TopologySpec(kind="lan"),
+        health_probe=HealthProbeSpec(eject_fraction=0.25),
+        thinner_shards=2,
+    )
+    assert ScenarioSpec.from_json(fleet.to_json()) == fleet
+
+
+def test_health_probe_needs_a_real_fleet():
+    from repro.core.fleet import HealthProbeSpec
+
+    spec = _small_lan_spec(health_probe=HealthProbeSpec())  # one shard
+    with pytest.raises(ExperimentError, match="thinner_shards"):
+        spec.validate()
+    with pytest.raises(ExperimentError):
+        _small_lan_spec(
+            health_probe=HealthProbeSpec(alpha=2.0), thinner_shards=2
+        ).validate()
+
+
+def test_retry_policy_fields_are_sweepable():
+    from repro.clients.base import RetryPolicy
+
+    spec = _small_lan_spec(retry_policy=RetryPolicy.budgeted())
+    swept = spec.with_value("retry_policy.budget", 5.0)
+    assert swept.retry_policy.budget == 5.0
+    assert spec.retry_policy.budget != 5.0  # original untouched
 
 
 def test_spec_from_dict_accepts_mapping_overrides():

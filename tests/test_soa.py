@@ -80,6 +80,82 @@ def test_vectorized_and_scalar_paths_are_bit_identical(seed):
     assert scalar["flows"] == vector["flows"]
 
 
+def _run_with_capacity_changes(spec, vectorized, changes):
+    """Like :func:`_run`, but rescale thinner access capacity mid-run.
+
+    ``changes`` is a list of ``(at_s, factor)`` pairs; each one scales both
+    directions of the thinner host's access link through
+    ``Link.set_capacity_factor`` — the same entry point the gray-failure
+    ``degrade`` fault uses — so every waterfill after it sees a different
+    capacity vector than the one the flows were admitted under.
+    """
+    spec = dataclasses.replace(
+        spec, config_overrides=freeze_overrides({"vectorized": vectorized})
+    )
+    deployment = spec.build()
+    network = deployment.network
+    host = deployment.thinner_hosts[0]
+    for at_s, factor in changes:
+        for link in (host.access.up, host.access.down):
+            deployment.engine.schedule_at(
+                at_s,
+                lambda link=link, factor=factor: link.set_capacity_factor(
+                    factor, network=network
+                ),
+            )
+    deployment.run(spec.duration)
+    result = deployment.results()
+    flows = sorted(
+        (flow.label.split(":")[0], flow.state.value, flow.rate_bps, flow.delivered_bytes)
+        for flow in network._active
+    )
+    return {
+        "counters": network.counters.snapshot(),
+        "served": result.total_served,
+        "good_allocation": result.good_allocation,
+        "total_delivered": network.total_delivered_bytes,
+        "flows": flows,
+    }
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_capacity_changes_keep_scalar_and_vector_paths_identical(seed):
+    """Mid-run capacity rescales reallocate identically down both paths.
+
+    A degrade-style capacity change re-derives every crossing flow's bound
+    and triggers a fresh waterfill over a component whose membership did not
+    change — a different code shape than admission/retirement churn, and the
+    one the gray-failure fault layer leans on.  The schedule is drawn from a
+    seeded RNG so each parametrization stresses different epochs.
+    """
+    rng = random.Random(seed)
+    spec = build_scenario(
+        "soa-mega",
+        good_clients=rng.randint(150, 250),
+        bad_clients=rng.randint(260, 330),
+        bad_window=2,
+        good_rate=2.0,
+        duration=0.1,
+        seed=seed,
+    )
+    changes = sorted(
+        (round(rng.uniform(0.01, 0.09), 4), round(rng.uniform(0.3, 1.0), 3))
+        for _ in range(rng.randint(3, 5))
+    )
+    scalar = _run_with_capacity_changes(spec, False, changes)
+    vector = _run_with_capacity_changes(spec, True, changes)
+
+    counters = vector["counters"]
+    assert counters["waterfill_calls"] > 0
+    assert counters["flows_touched"] >= 500
+
+    assert scalar["counters"] == vector["counters"]
+    assert scalar["served"] == vector["served"]
+    assert scalar["good_allocation"] == vector["good_allocation"]
+    assert scalar["total_delivered"] == vector["total_delivered"]
+    assert scalar["flows"] == vector["flows"]
+
+
 def _tiny_net():
     from repro.constants import MBIT
     from repro.simnet.topology import build_lan, uniform_bandwidths
