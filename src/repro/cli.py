@@ -15,6 +15,7 @@ Examples::
     speakup-repro adaptive         # attack-triggered engagement sweep
     speakup-repro failover --fault-plan plan.json   # replay a saved plan
     speakup-repro brownout         # gray failures: retry storms + ejection
+    speakup-repro fabric           # dispatch strategies across fabrics
     speakup-repro scenarios        # list the named scenarios
     speakup-repro scenarios --doc  # emit the docs/SCENARIOS.md gallery
     speakup-repro defenses         # list the registered defenses + knobs
@@ -182,6 +183,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="pulse end (default: two thirds of the run)")
     brownout.add_argument("--probe-interval", type=float, default=0.5, metavar="S",
                           help="health-prober sampling interval")
+
+    fabric = subparsers.add_parser(
+        "fabric",
+        help="dispatch strategies across datacenter fabrics (star, leaf-spine, fat-tree)",
+        description=(
+            "Run the fabric-mega population on each requested fabric under "
+            "each requested dispatch strategy and tabulate good-client "
+            "service and per-shard payment imbalance.  Pass --kill-shard to "
+            "compose a mid-run kill/heal pulse onto every cell."
+        ),
+    )
+    _add_scale_arguments(fabric)
+    fabric.add_argument("--shards", type=int, default=8,
+                        help="fleet size behind the frontend")
+    fabric.add_argument("--fabrics", default="star,leaf-spine,fat-tree",
+                        metavar="F1,F2,...",
+                        help="comma-separated fabrics (star, leaf-spine, fat-tree)")
+    fabric.add_argument("--strategies", default=None, metavar="S1,S2,...",
+                        help="comma-separated dispatch strategies "
+                             "(default: every registered strategy)")
+    fabric.add_argument("--oversubscription", type=float, default=4.0,
+                        help="fabric core oversubscription ratio")
+    fabric.add_argument("--cross-pairs", type=int, default=4,
+                        help="bystander cross-traffic pairs on fabric topologies")
+    fabric.add_argument("--probe", default="pins",
+                        help="load signal for probe-driven strategies "
+                             "(pins, contenders, sink-rate, none)")
+    fabric.add_argument("--kill-shard", type=int, default=None,
+                        help="compose a kill/heal pulse on this shard")
+    fabric.add_argument("--kill-at", type=float, default=None, metavar="S",
+                        help="kill time (default: a quarter of the run)")
+    fabric.add_argument("--heal-at", type=float, default=None, metavar="S",
+                        help="heal time (default: 60%% of the run)")
 
     capacity = subparsers.add_parser("capacity", help="section 7.1: thinner sink-rate analogue")
     capacity.add_argument("--measure-seconds", type=float, default=0.5)
@@ -600,6 +634,32 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             probe_interval_s=args.probe_interval,
         )
         print(format_brownout(outcome))
+        return 0
+
+    if args.command == "fabric":
+        from repro.core.routing import ROUTER_STRATEGY_NAMES
+        from repro.experiments.fabric import fabric_strategy_comparison, format_fabric
+
+        fabrics = tuple(name.strip() for name in args.fabrics.split(",") if name.strip())
+        if args.strategies is None:
+            strategies = ROUTER_STRATEGY_NAMES
+        else:
+            strategies = tuple(
+                name.strip() for name in args.strategies.split(",") if name.strip()
+            )
+        rows = fabric_strategy_comparison(
+            _scale_from(args),
+            fabrics=fabrics,
+            strategies=strategies,
+            shards=args.shards,
+            oversubscription=args.oversubscription,
+            cross_traffic_pairs=args.cross_pairs,
+            probe=args.probe,
+            kill_shard=args.kill_shard,
+            kill_at_s=args.kill_at,
+            heal_at_s=args.heal_at,
+        )
+        print(format_fabric(rows))
         return 0
 
     scale = _scale_from(args)

@@ -8,10 +8,13 @@ what must cover ``G + B``.  This module supplies the pieces a
 :class:`~repro.core.frontend.Deployment` uses when
 ``DeploymentConfig.thinner_shards > 1``:
 
-* :class:`ShardRouter` — the dispatch policy that pins each client to one
-  front-end shard (the moral equivalent of DNS round-robin or a
-  consistent-hashing load balancer; clients stick to their shard for the
-  whole run, as browsers stick to a resolved address);
+* :class:`ShardRouter` (re-exported from :mod:`repro.core.routing`) — the
+  dispatch strategy that pins each client to one front-end shard (the moral
+  equivalent of DNS round-robin or a consistent-hashing load balancer;
+  clients stick to their shard for the whole run, as browsers stick to a
+  resolved address).  The strategy registry in ``core/routing.py`` supplies
+  the legacy hash/least-loaded/random policies plus power-of-two-choices,
+  weighted-by-measured-sink-rate, and sticky-with-spill;
 * :class:`PooledAdmission` / :class:`PooledServerView` — the shared-server
   coordination used by the ``"pooled"`` admission mode, where every shard
   can claim any freed server slot;
@@ -36,142 +39,26 @@ The two admission modes bracket how a real fleet shares the back-end:
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import asdict, dataclass
 from statistics import median
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.routing import (  # noqa: F401  (re-exported for compatibility)
+    ROUTER_STRATEGIES,
+    ROUTER_STRATEGY_NAMES,
+    RouterSpec,
+    SHARD_POLICIES,
+    ShardRouter,
+)
 from repro.errors import ThinnerError
 from repro.httpd.messages import Request
 from repro.httpd.server import EmulatedServer
-from repro.rng import RandomStream
-
-#: Dispatch policies a fleet can use to pin clients to shards.
-SHARD_POLICIES = ("hash", "least-loaded", "random")
 
 #: How the fleet shares the protected server's capacity.
 ADMISSION_MODES = ("partitioned", "pooled")
 
 #: Drop reason recorded when the health prober drains an ejected shard.
 EJECT_REASON = "health-ejected"
-
-
-class ShardRouter:
-    """Assigns each client to one thinner shard, deterministically.
-
-    * ``hash``         — stable hash of the client's host name (CRC32), the
-      consistent-hashing analogue: the same client lands on the same shard
-      in every run and regardless of registration order;
-    * ``least-loaded`` — the shard with the fewest assigned clients so far
-      (ties to the lowest index), i.e. a perfectly informed balancer;
-    * ``random``       — a uniform draw per client from the deployment's
-      seeded ``"shard-dispatch"`` stream, i.e. naive DNS round-robin with
-      client-side caching.
-
-    Assignments are made once, at client registration, and never migrate on
-    their own — matching §4.3's sketch, where a client resolves to one
-    front-end and keeps paying it.  The exception is failover: the fault
-    injector marks killed shards dead in the router's liveness mask
-    (:meth:`set_alive`) and :meth:`reassign`\\ s each affected client to a
-    surviving shard once its DNS-TTL re-pin lag expires.
-    """
-
-    def __init__(
-        self,
-        shards: int,
-        policy: str = "hash",
-        rng: Optional[RandomStream] = None,
-    ) -> None:
-        if shards < 1:
-            raise ThinnerError(f"shards must be at least 1, got {shards}")
-        if policy not in SHARD_POLICIES:
-            raise ThinnerError(
-                f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
-            )
-        if policy == "random" and shards > 1 and rng is None:
-            raise ThinnerError("the 'random' shard policy needs a seeded stream")
-        self.shards = shards
-        self.policy = policy
-        self.rng = rng
-        #: Clients currently pinned to each shard (drives ``least-loaded``).
-        self.counts: List[int] = [0] * shards
-        #: Liveness mask maintained by the fault injector; initial
-        #: assignment ignores it (every shard is alive before the run), but
-        #: :meth:`reassign` only ever lands on live shards.
-        self.alive: List[bool] = [True] * shards
-        #: Ejection mask maintained by the :class:`HealthProber`: an ejected
-        #: shard is up but judged sick, so :meth:`reassign` routes around it
-        #: while the fault injector's liveness mask is left untouched.
-        self.ejected: List[bool] = [False] * shards
-
-    def set_alive(self, shard: int, alive: bool) -> None:
-        """Mark ``shard`` dead or alive in the dispatch candidate set."""
-        if not 0 <= shard < self.shards:
-            raise ThinnerError(f"shard {shard} out of range for {self.shards} shard(s)")
-        self.alive[shard] = alive
-
-    def set_ejected(self, shard: int, ejected: bool) -> None:
-        """Mark ``shard`` health-ejected (routed around) or readmitted."""
-        if not 0 <= shard < self.shards:
-            raise ThinnerError(f"shard {shard} out of range for {self.shards} shard(s)")
-        self.ejected[shard] = ejected
-
-    def live_shards(self) -> List[int]:
-        """Indices of the shards currently in the candidate set."""
-        return [index for index, alive in enumerate(self.alive) if alive]
-
-    def routable_shards(self) -> List[int]:
-        """Live shards that are not health-ejected (the re-pin candidates)."""
-        return [
-            index
-            for index, alive in enumerate(self.alive)
-            if alive and not self.ejected[index]
-        ]
-
-    def reassign(self, client_name: str, from_shard: int) -> int:
-        """Re-pin a failed-over client to a live shard, policy-consistently.
-
-        ``hash`` rehashes over the live shards (consistent hashing after a
-        node leaves the ring), ``least-loaded`` picks the live shard with the
-        fewest current pins, and ``random`` redraws from the same seeded
-        stream as initial dispatch.  The old pin's count is released so
-        ``least-loaded`` tracks live populations, not history.  Ejected
-        shards are avoided while any non-ejected live shard remains; when
-        the prober has ejected everything that is still up, liveness wins
-        (a sick front-end beats no front-end).
-        """
-        live = self.routable_shards()
-        if not live:
-            live = self.live_shards()
-        if not live:
-            raise ThinnerError("cannot reassign: no live shards")
-        self.counts[from_shard] -= 1
-        if len(live) == 1:
-            index = live[0]
-        elif self.policy == "hash":
-            index = live[zlib.crc32(client_name.encode("utf-8")) % len(live)]
-        elif self.policy == "least-loaded":
-            index = min(live, key=lambda i: (self.counts[i], i))
-        else:  # random
-            index = live[self.rng.randint(0, len(live) - 1)]
-        self.counts[index] += 1
-        return index
-
-    def assign(self, client_name: str) -> int:
-        """The shard index for ``client_name`` (counts it as assigned)."""
-        if self.shards == 1:
-            # Single-thinner deployments take this path for every client;
-            # keep it free of hashing and RNG draws.
-            self.counts[0] += 1
-            return 0
-        if self.policy == "hash":
-            index = zlib.crc32(client_name.encode("utf-8")) % self.shards
-        elif self.policy == "least-loaded":
-            index = min(range(self.shards), key=lambda i: (self.counts[i], i))
-        else:  # random
-            index = self.rng.randint(0, self.shards - 1)
-        self.counts[index] += 1
-        return index
 
 
 class PooledServerView:

@@ -46,6 +46,7 @@ from repro.core.fleet import (
     PooledAdmission,
     ShardRouter,
 )
+from repro.core.routing import RouterSpec, build_probe, strategy_needs_rng
 from repro.core.payment import PaymentChannel
 from repro.core.thinner import ThinnerBase
 from repro.httpd.messages import Request
@@ -127,6 +128,13 @@ class DeploymentConfig:
     #: ``"least-loaded"`` (fewest assigned clients), or ``"random"`` (a
     #: seeded uniform draw per client).  See :class:`repro.core.fleet.ShardRouter`.
     shard_policy: str = "hash"
+    #: Full dispatch-strategy configuration (see
+    #: :class:`repro.core.routing.RouterSpec`).  ``None`` (the default) uses
+    #: the legacy ``shard_policy`` string path, byte-identical to the
+    #: historical wiring; a spec unlocks the registry's load-aware
+    #: strategies (``power-of-two``, ``weighted-sink``, ``sticky-spill``)
+    #: and their probe signals, and takes precedence over ``shard_policy``.
+    router_spec: Optional[RouterSpec] = None
     #: How the fleet shares the server's admission slots:
     #: ``"partitioned"`` gives each shard a dedicated ``c / shards`` slice
     #: (fully independent shards; every defense works), ``"pooled"`` lets
@@ -195,6 +203,11 @@ class DeploymentConfig:
                 f"unknown shard_policy {self.shard_policy!r}; "
                 f"expected one of {SHARD_POLICIES}"
             )
+        if self.router_spec is not None:
+            try:
+                self.router_spec.validate()
+            except ThinnerError as error:
+                raise ExperimentError(str(error)) from None
         if self.admission_mode not in ADMISSION_MODES:
             raise ExperimentError(
                 f"unknown admission_mode {self.admission_mode!r}; "
@@ -323,14 +336,31 @@ class Deployment:
                 self.thinners.append(self.defense.build_thinner(self, shard))
         self.thinner = self.thinners[0]
 
-        dispatch_rng = (
-            self.streams.stream("shard-dispatch")
-            if shards > 1 and self.config.shard_policy == "random"
-            else None
-        )
-        self._router = ShardRouter(shards, self.config.shard_policy, rng=dispatch_rng)
+        router_spec = self.config.router_spec
+        if router_spec is not None:
+            dispatch_rng = (
+                self.streams.stream("shard-dispatch")
+                if shards > 1 and strategy_needs_rng(router_spec.name)
+                else None
+            )
+            probe = build_probe(self, router_spec) if shards > 1 else None
+            self._router = ShardRouter(
+                shards, router_spec, rng=dispatch_rng, probe=probe
+            )
+        else:
+            dispatch_rng = (
+                self.streams.stream("shard-dispatch")
+                if shards > 1 and self.config.shard_policy == "random"
+                else None
+            )
+            self._router = ShardRouter(shards, self.config.shard_policy, rng=dispatch_rng)
 
         self.clients: List = []
+        #: Non-client traffic drivers (cross-traffic generators and the
+        #: like): started alongside the clients by :meth:`run`, but never
+        #: registered as clients, so they stay out of the served/allocation
+        #: metrics and the aggregate-bandwidth accounting.
+        self.auxiliaries: List = []
         self.duration: Optional[float] = None
 
         #: The fault injector, or ``None`` for fault-free runs.  Only a plan
@@ -392,6 +422,10 @@ class Deployment:
         """Called by client constructors so the deployment can enumerate them."""
         self.clients.append(client)
 
+    def register_auxiliary(self, driver) -> None:
+        """Register a non-client traffic driver (started by :meth:`run`)."""
+        self.auxiliaries.append(driver)
+
     def assign_shard(self, client_host: Host) -> int:
         """The shard index serving ``client_host`` (stable for the whole run)."""
         return self._router.assign(client_host.name)
@@ -430,6 +464,10 @@ class Deployment:
         # Publish the horizon before starting clients so their initial
         # arrival pregeneration does not draw a whole batch past run end.
         self.engine.run_horizon = until
+        for auxiliary in self.auxiliaries:
+            start = getattr(auxiliary, "start", None)
+            if callable(start):
+                start()
         for client in self.clients:
             start = getattr(client, "start", None)
             if callable(start):
@@ -488,3 +526,47 @@ class Deployment:
             if client_class is None or client.client_class == client_class:
                 total += client.host.upload_capacity_bps
         return total
+
+
+class CrossTrafficDriver:
+    """A bystander flow occupying fabric links for a whole run.
+
+    The driver opens one unbounded, optionally rate-capped flow between a
+    cross-traffic endpoint pair (see
+    :attr:`repro.simnet.topology.FabricTopology.cross_pairs`) when the
+    deployment starts and leaves it running: the fluid network's max-min
+    waterfill then shares every fabric link the pair crosses between the
+    bystander and whatever payment traffic rides the same core.  Registered
+    as a deployment *auxiliary*, not a client, so it never appears in
+    served/allocation metrics.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        src: Host,
+        dst: Host,
+        rate_cap_bps: Optional[float] = None,
+        label: str = "cross-traffic",
+    ) -> None:
+        self.deployment = deployment
+        self.src = src
+        self.dst = dst
+        self.rate_cap_bps = rate_cap_bps
+        self.label = label
+        self.flow = None
+        deployment.register_auxiliary(self)
+
+    def start(self) -> None:
+        self.flow = self.deployment.network.send(
+            self.src,
+            self.dst,
+            size_bytes=None,
+            rate_cap_bps=self.rate_cap_bps,
+            label=self.label,
+        )
+
+    @property
+    def delivered_bytes(self) -> float:
+        """Bytes the bystander flow has pushed so far (0 before start)."""
+        return 0.0 if self.flow is None else self.flow.delivered_bytes

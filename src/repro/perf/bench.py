@@ -189,6 +189,29 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
             duration=0.05,
         ),
     ),
+    BenchCase(
+        name="fabric-mega",
+        scenario="fabric-mega",
+        # The factory's 17k-client default couples most of the population
+        # into single fabric-wide waterfill components and takes minutes;
+        # the pinned point keeps the leaf-spine shape and the contended
+        # core while landing in the same wall-clock band as fleet-mega.
+        args=dict(
+            good_clients=2500,
+            bad_clients=250,
+            capacity_rps=900.0,
+            duration=0.5,
+        ),
+        quick_args=dict(
+            good_clients=1600,
+            bad_clients=160,
+            thinner_shards=4,
+            leaves=4,
+            spines=2,
+            capacity_rps=600.0,
+            duration=0.2,
+        ),
+    ),
 )
 
 

@@ -15,10 +15,13 @@ Paper setups: ``lan-baseline`` (§7.2–§7.4), ``bandwidth-tiers`` (Figure 6),
 ``fleet-lan``, ``fleet-mega`` (§4.3 scale-out), ``fleet-failover``
 (a mid-run shard kill/heal pulse) and ``fleet-brownout`` (a gray-failure
 pulse — degraded, lossy or stalled shards — with optional client retry
-policies and health-driven ejection), and the perf-harness
-workloads ``stress-mega`` (allocator-bound), ``thinner-mega``
-(auction-bound, ≥50k clients) and ``soa-mega`` (array-bound, ≥200k clients
-through the struct-of-arrays vectorized allocator path).
+policies and health-driven ejection), the datacenter-fabric scenario
+``fabric-mega`` (the fleet on a leaf-spine or fat-tree fabric with an
+oversubscribed core, cross-traffic, and any registered dispatch strategy),
+and the perf-harness workloads ``stress-mega`` (allocator-bound),
+``thinner-mega`` (auction-bound, ≥50k clients) and ``soa-mega``
+(array-bound, ≥200k clients through the struct-of-arrays vectorized
+allocator path).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.constants import (
     MBIT,
     milliseconds,
 )
+from repro.core.routing import RouterSpec
 from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.errors import ExperimentError
 from repro.simnet.topology import DEFAULT_THINNER_BANDWIDTH
@@ -145,10 +149,25 @@ def scenario_markdown() -> str:
                 f"shared cable {_format_bandwidth(topology.bottleneck_bandwidth_bps)}"
                 f" / {topology.bottleneck_delay_s * 1e3:g} ms"
             )
+        if topology.kind == "leaf-spine":
+            topo_bits.append(
+                f"{topology.leaves} leaves × {topology.spines} spines, "
+                f"{topology.oversubscription:g}:1 oversubscribed"
+            )
+        elif topology.kind == "fat-tree":
+            topo_bits.append(
+                f"k={topology.fabric_k} fat-tree, "
+                f"{topology.oversubscription:g}:1 oversubscribed"
+            )
+        if topology.cross_traffic_pairs:
+            topo_bits.append(f"{topology.cross_traffic_pairs} cross-traffic pair(s)")
         if spec.thinner_shards > 1:
+            dispatch = (
+                spec.router_spec.name if spec.router_spec is not None else spec.shard_policy
+            )
             topo_bits.append(
                 f"thinner fleet of {spec.thinner_shards} shards "
-                f"(`{spec.shard_policy}` dispatch, `{spec.admission_mode}` admission)"
+                f"(`{dispatch}` dispatch, `{spec.admission_mode}` admission)"
             )
         lines.append(f"**Topology:** {', '.join(topo_bits)}.")
         lines.append("")
@@ -1008,6 +1027,112 @@ def fleet_mega(
         seed=seed,
         thinner_shards=thinner_shards,
         shard_policy=shard_policy,
+        admission_mode=admission_mode,
+    )
+
+
+@register("fabric-mega")
+def fabric_mega(
+    good_clients: int = 16000,
+    bad_clients: int = 1600,
+    thinner_shards: int = 8,
+    fabric: str = "leaf-spine",
+    leaves: int = 8,
+    spines: int = 3,
+    fabric_k: int = 4,
+    oversubscription: float = 4.0,
+    cross_traffic_pairs: int = 4,
+    router: str = "power-of-two",
+    probe: str = "pins",
+    probe_window_s: float = 0.5,
+    spill_factor: float = 1.25,
+    admission_mode: str = "partitioned",
+    capacity_rps: float = 6000.0,
+    defense: str = "speakup",
+    good_rate: float = 1.0,
+    bad_rate: float = 40.0,
+    bad_window: int = 20,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    provisioning_headroom: float = 1.25,
+    duration: float = 0.5,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The §4.3 fleet on a datacenter fabric, under any dispatch strategy.
+
+    ``fleet-mega``'s over-demanded population, moved off the star-of-stars
+    toy onto a real fabric shape: ``fabric`` picks ``leaf-spine`` (default),
+    ``fat-tree``, or ``star`` (the legacy star-of-stars, for like-for-like
+    strategy comparisons).  The core tier is ``oversubscription``:1
+    oversubscribed and ``cross_traffic_pairs`` unbounded bystander flows
+    occupy core links, so ECMP path collisions and shard choice genuinely
+    move good-client service.  ``router`` selects any registered dispatch
+    strategy (``hash``, ``least-loaded``, ``random``, ``power-of-two``,
+    ``weighted-sink``, ``sticky-spill``) observing the ``probe`` signal —
+    the ``repro.cli fabric`` experiment sweeps both axes.
+    """
+    fabrics = ("leaf-spine", "fat-tree", "star")
+    if fabric not in fabrics:
+        raise ExperimentError(
+            f"unknown fabric {fabric!r}; expected one of {fabrics}"
+        )
+    total = good_clients + bad_clients
+    fleet_bandwidth = max(
+        DEFAULT_THINNER_BANDWIDTH, total * client_bandwidth_bps * provisioning_headroom
+    )
+    if fabric == "star":
+        topology = TopologySpec(kind="lan", thinner_bandwidth_bps=fleet_bandwidth)
+    elif fabric == "fat-tree":
+        topology = TopologySpec(
+            kind="fat-tree",
+            thinner_bandwidth_bps=fleet_bandwidth,
+            fabric_k=fabric_k,
+            oversubscription=oversubscription,
+            cross_traffic_pairs=cross_traffic_pairs,
+        )
+    else:
+        topology = TopologySpec(
+            kind="leaf-spine",
+            thinner_bandwidth_bps=fleet_bandwidth,
+            leaves=leaves,
+            spines=spines,
+            oversubscription=oversubscription,
+            cross_traffic_pairs=cross_traffic_pairs,
+        )
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=good_rate,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=bad_rate,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="fabric-mega",
+        topology=topology,
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        seed=seed,
+        thinner_shards=thinner_shards,
+        router_spec=RouterSpec(
+            name=router,
+            probe=probe,
+            probe_window_s=probe_window_s,
+            spill_factor=spill_factor,
+        ),
         admission_mode=admission_mode,
     )
 

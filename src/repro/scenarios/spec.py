@@ -24,7 +24,8 @@ from repro.errors import ClientError, DefenseError, ExperimentError, FaultError,
 from repro.clients.base import RetryPolicy
 from repro.clients.population import PopulationSpec, build_population
 from repro.core.fleet import ADMISSION_MODES, SHARD_POLICIES, HealthProbeSpec
-from repro.core.frontend import Deployment, DeploymentConfig
+from repro.core.frontend import CrossTrafficDriver, Deployment, DeploymentConfig
+from repro.core.routing import RouterSpec
 from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.faults.spec import FaultPlan
 from repro.metrics.collector import RunResult
@@ -33,12 +34,18 @@ from repro.simnet.topology import (
     DEFAULT_THINNER_BANDWIDTH,
     build_bottleneck,
     build_dumbbell,
+    build_fat_tree,
     build_fleet,
     build_lan,
+    build_leaf_spine,
 )
 
-#: Topology shapes a spec can describe (the paper's three Emulab setups).
-TOPOLOGY_KINDS = ("lan", "bottleneck", "dumbbell")
+#: Topology shapes a spec can describe: the paper's three Emulab setups plus
+#: the datacenter fabrics the §4.3 fleet scales into.
+TOPOLOGY_KINDS = ("lan", "bottleneck", "dumbbell", "fat-tree", "leaf-spine")
+
+#: The hierarchical datacenter fabric kinds (multi-tier, ECMP-routed).
+FABRIC_KINDS = ("fat-tree", "leaf-spine")
 
 #: Arrival-process shapes a client group can follow.
 ARRIVAL_KINDS = ("steady", "onoff", "flash", "diurnal")
@@ -218,7 +225,12 @@ class TopologySpec:
     * ``bottleneck`` (§7.6): groups flagged ``behind_bottleneck`` reach the
       core through a shared cable of ``bottleneck_bandwidth_bps``;
     * ``dumbbell`` (§7.7): all clients plus a victim host ``H`` behind the
-      shared cable, the thinner and a web server ``S`` on the far side.
+      shared cable, the thinner and a web server ``S`` on the far side;
+    * ``fat-tree`` / ``leaf-spine``: hierarchical datacenter fabrics hosting
+      the §4.3 thinner fleet — clients and shards spread round-robin across
+      edge switches, ECMP hashed path selection at every fan-out point,
+      ``oversubscription`` thinning the core tier, and
+      ``cross_traffic_pairs`` bystander flows occupying core links.
     """
 
     kind: str = "lan"
@@ -227,13 +239,28 @@ class TopologySpec:
     bottleneck_bandwidth_bps: float = 0.0
     bottleneck_delay_s: float = DEFAULT_LAN_DELAY
     web_server_bandwidth_bps: float = DEFAULT_THINNER_BANDWIDTH
+    #: Fat-tree arity (k pods, (k/2)^2 cores); fabric kinds only.
+    fabric_k: int = 4
+    #: Leaf and spine switch counts; ``leaf-spine`` only.
+    leaves: int = 4
+    spines: int = 2
+    #: Core-tier capacity divisor: 1.0 is nonblocking for the aggregate
+    #: client upload bandwidth, above 1.0 the core genuinely contends.
+    oversubscription: float = 1.0
+    #: One-way delay of each switch-to-switch fabric cable.
+    fabric_delay_s: float = DEFAULT_LAN_DELAY
+    #: Unbounded bystander flows crossing the fabric (endpoint pairs).
+    cross_traffic_pairs: int = 0
+    #: Access bandwidth of each cross-traffic endpoint (0 = the mean client
+    #: access bandwidth).
+    cross_traffic_bandwidth_bps: float = 0.0
 
     def validate(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
             raise ExperimentError(
                 f"unknown topology kind {self.kind!r}; expected one of {TOPOLOGY_KINDS}"
             )
-        if self.lan_delay_s < 0 or self.bottleneck_delay_s < 0:
+        if self.lan_delay_s < 0 or self.bottleneck_delay_s < 0 or self.fabric_delay_s < 0:
             raise ExperimentError("topology delays must be non-negative")
         if self.thinner_bandwidth_bps <= 0 or self.web_server_bandwidth_bps <= 0:
             raise ExperimentError("topology bandwidths must be positive")
@@ -241,10 +268,57 @@ class TopologySpec:
             raise ExperimentError(
                 f"{self.kind!r} topologies need a positive bottleneck_bandwidth_bps"
             )
+        if self.kind == "fat-tree" and (self.fabric_k < 2 or self.fabric_k % 2 != 0):
+            raise ExperimentError(
+                f"fat-tree topologies need an even fabric_k >= 2, got {self.fabric_k}"
+            )
+        if self.kind == "leaf-spine" and (self.leaves < 1 or self.spines < 1):
+            raise ExperimentError(
+                "leaf-spine topologies need at least one leaf and one spine"
+            )
+        if self.kind in FABRIC_KINDS:
+            if self.oversubscription <= 0:
+                raise ExperimentError(
+                    f"oversubscription must be positive, got {self.oversubscription}"
+                )
+            if self.cross_traffic_pairs < 0:
+                raise ExperimentError(
+                    f"cross_traffic_pairs must be non-negative, got {self.cross_traffic_pairs}"
+                )
+            if self.cross_traffic_bandwidth_bps < 0:
+                raise ExperimentError("cross_traffic_bandwidth_bps must be non-negative")
+        elif self.cross_traffic_pairs:
+            raise ExperimentError(
+                "cross_traffic_pairs needs a fabric topology (fat-tree or leaf-spine)"
+            )
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TopologySpec":
         return cls(**data)
+
+
+#: The fabric-only ``TopologySpec`` fields, stripped from serialisations at
+#: their default values so legacy (star/bottleneck/dumbbell) spec JSON stays
+#: byte-identical to releases that predate fabrics.
+_FABRIC_FIELDS = (
+    "fabric_k",
+    "leaves",
+    "spines",
+    "oversubscription",
+    "fabric_delay_s",
+    "cross_traffic_pairs",
+    "cross_traffic_bandwidth_bps",
+)
+
+_TOPOLOGY_DEFAULTS = TopologySpec()
+
+
+def _topology_dict(topology: TopologySpec) -> Dict[str, Any]:
+    payload = asdict(topology)
+    for name in _FABRIC_FIELDS:
+        if payload.get(name) == getattr(_TOPOLOGY_DEFAULTS, name):
+            payload.pop(name, None)
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -282,6 +356,13 @@ class ScenarioSpec:
     thinner_shards: int = 1
     #: Client→shard dispatch: "hash", "least-loaded", or "random".
     shard_policy: str = "hash"
+    #: Full dispatch-strategy configuration (see
+    #: :class:`~repro.core.routing.RouterSpec`): any registered strategy —
+    #: the legacy three plus ``power-of-two``, ``weighted-sink``, and
+    #: ``sticky-spill`` — with its probe signal.  Overrides
+    #: :attr:`shard_policy` when set; ``None`` keeps the legacy string path
+    #: byte-identical.  Sweepable (``"router_spec.probe_window_s"``).
+    router_spec: Optional[RouterSpec] = None
     #: Server-slot sharing across shards: "partitioned" or "pooled".
     admission_mode: str = "partitioned"
     #: Scheduled shard kill/heal events (§4.3 failover); ``None`` — or an
@@ -332,9 +413,14 @@ class ScenarioSpec:
                 f"unknown admission_mode {self.admission_mode!r}; "
                 f"expected one of {ADMISSION_MODES}"
             )
-        if self.thinner_shards > 1 and self.topology.kind != "lan":
+        if self.router_spec is not None:
+            try:
+                self.router_spec.validate()
+            except ThinnerError as error:
+                raise ExperimentError(str(error)) from None
+        if self.thinner_shards > 1 and self.topology.kind not in ("lan",) + FABRIC_KINDS:
             raise ExperimentError(
-                "thinner fleets (thinner_shards > 1) need a 'lan' topology"
+                "thinner fleets (thinner_shards > 1) need a 'lan' or fabric topology"
             )
         if self.fault_plan is not None:
             try:
@@ -418,6 +504,7 @@ class ScenarioSpec:
             encouragement_delay=self.encouragement_delay,
             thinner_shards=self.thinner_shards,
             shard_policy=self.shard_policy,
+            router_spec=self.router_spec,
             admission_mode=self.admission_mode,
             fault_plan=self.fault_plan,
             health_probe=self.health_probe,
@@ -469,6 +556,33 @@ class ScenarioSpec:
                 name=self.name,
             )
             hosts = list(behind_hosts) + list(direct_hosts)
+        elif self.topology.kind in FABRIC_KINDS:
+            ordered = self.groups
+            bandwidths = [g.bandwidth_bps for g in ordered for _ in range(g.count)]
+            fabric_kwargs = dict(
+                thinner_shards=self.thinner_shards,
+                oversubscription=self.topology.oversubscription,
+                fleet_bandwidth_bps=self.topology.thinner_bandwidth_bps,
+                lan_delay_s=self.topology.lan_delay_s,
+                fabric_delay_s=self.topology.fabric_delay_s,
+                cross_traffic_pairs=self.topology.cross_traffic_pairs,
+                cross_traffic_bandwidth_bps=(
+                    self.topology.cross_traffic_bandwidth_bps or None
+                ),
+                ecmp_seed=self.seed,
+                name=self.name,
+            )
+            if self.topology.kind == "fat-tree":
+                topology, hosts, thinner_host = build_fat_tree(
+                    bandwidths, k=self.topology.fabric_k, **fabric_kwargs
+                )
+            else:
+                topology, hosts, thinner_host = build_leaf_spine(
+                    bandwidths,
+                    leaves=self.topology.leaves,
+                    spines=self.topology.spines,
+                    **fabric_kwargs,
+                )
         else:  # dumbbell
             ordered = self.groups
             bandwidths = [g.bandwidth_bps for g in ordered for _ in range(g.count)]
@@ -483,6 +597,10 @@ class ScenarioSpec:
             )
 
         deployment = Deployment(topology, thinner_host, config)
+        for cross_src, cross_dst in getattr(topology, "cross_pairs", ()):
+            # Cross-traffic generators ride as auxiliaries: their unbounded
+            # flows occupy fabric links but never enter client metrics.
+            CrossTrafficDriver(deployment, cross_src, cross_dst)
         build_population(
             deployment,
             hosts,
@@ -507,7 +625,7 @@ class ScenarioSpec:
         """
         payload = {
             "name": self.name,
-            "topology": asdict(self.topology),
+            "topology": _topology_dict(self.topology),
             "groups": [_group_dict(group) for group in self.groups],
             "capacity_rps": self.capacity_rps,
             "defense": self.defense,
@@ -527,6 +645,8 @@ class ScenarioSpec:
             payload["retry_policy"] = self.retry_policy.to_dict()
         if self.health_probe is not None:
             payload["health_probe"] = self.health_probe.to_dict()
+        if self.router_spec is not None:
+            payload["router_spec"] = self.router_spec.to_dict()
         return payload
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -557,6 +677,9 @@ class ScenarioSpec:
         health_probe = payload.get("health_probe")
         if isinstance(health_probe, dict):
             payload["health_probe"] = HealthProbeSpec.from_dict(health_probe)
+        router_spec = payload.get("router_spec")
+        if isinstance(router_spec, dict):
+            payload["router_spec"] = RouterSpec.from_dict(router_spec)
         payload["config_overrides"] = freeze_overrides(
             payload.get("config_overrides", ())
         )

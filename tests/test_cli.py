@@ -9,7 +9,7 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("demo", "figure2", "figure3", "costs", "figure6", "figure7",
                     "figure8", "figure9", "advantage", "windows", "capacity",
-                    "scenarios", "sweep", "bench", "fleet", "failover"):
+                    "scenarios", "sweep", "bench", "fleet", "failover", "fabric"):
         args = parser.parse_args(
             [command] if command in ("demo", "capacity", "scenarios", "sweep", "bench")
             else [command, "--duration", "5"])
@@ -175,6 +175,19 @@ def test_failover_command_prints_pulse_and_summary(capsys):
     assert "<- kill" in output
 
 
+def test_fabric_command_prints_strategy_grid(capsys):
+    exit_code = main(["fabric", "--duration", "4", "--client-scale", "0.2",
+                      "--shards", "2", "--fabrics", "star,leaf-spine",
+                      "--strategies", "hash,random"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Dispatch strategies across fabric topologies" in output
+    for needle in ("star", "leaf-spine", "hash", "random", "imbalance"):
+        assert needle in output
+    # one row per (fabric, strategy) cell plus the two header lines
+    assert len(output.strip().splitlines()) == 3 + 4
+
+
 def _assert_clean_one_line_error(capsys, argv, needle):
     """Unknown names exit 2 with a single clean line listing valid choices."""
     assert main(argv) == 2
@@ -202,5 +215,15 @@ def test_unknown_names_report_choices_consistently(capsys):
         capsys,
         ["fleet", "--duration", "2", "--client-scale", "0.1", "--admission", "bogus"],
         "admission_mode")
+    _assert_clean_one_line_error(
+        capsys,
+        ["fabric", "--duration", "2", "--client-scale", "0.1",
+         "--strategies", "bogus"],
+        "unknown router strategy")
+    _assert_clean_one_line_error(
+        capsys,
+        ["fabric", "--duration", "2", "--client-scale", "0.1",
+         "--fabrics", "bogus"],
+        "unknown fabric")
     assert main(["fleet", "--shards", "1,x"]) == 2
     assert "--shards" in capsys.readouterr().err

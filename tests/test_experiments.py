@@ -189,6 +189,35 @@ def test_brownout_storm_budget_and_ejection_story():
     assert "ejection" in text
 
 
+def test_fabric_comparison_covers_every_cell_and_composes_faults():
+    """One row per (fabric, strategy) cell, in grid order, with a kill/heal
+    pulse composed onto every cell — the chaos-smoke configuration."""
+    from repro.experiments.fabric import fabric_strategy_comparison, format_fabric
+
+    rows = fabric_strategy_comparison(
+        ExperimentScale.test(),
+        fabrics=("star", "leaf-spine"),
+        strategies=("hash", "power-of-two"),
+        shards=2,
+        kill_shard=1,
+    )
+    assert [(row.fabric, row.strategy) for row in rows] == [
+        ("star", "hash"),
+        ("star", "power-of-two"),
+        ("leaf-spine", "hash"),
+        ("leaf-spine", "power-of-two"),
+    ]
+    for row in rows:
+        assert 0.0 <= row.good_allocation <= 1.0
+        assert 0.0 <= row.good_fraction_served <= 1.0
+        assert row.total_served > 0
+        # max/mean is 1.0 for a perfectly even fleet, 0.0 only if no
+        # payment was sunk at all (which a served run rules out).
+        assert row.shard_imbalance >= 1.0
+    text = format_fabric(rows)
+    assert "leaf-spine" in text and "power-of-two" in text
+
+
 @pytest.mark.slow
 def test_brownout_thresholds_hold_at_default_scale():
     """The acceptance thresholds hold at the CLI's default scale too."""

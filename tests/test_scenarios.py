@@ -55,6 +55,10 @@ SMALL_SCENARIO_KWARGS = {
                            fault="stall", fault_shard=1, start_at_s=2.0,
                            end_at_s=4.0, retry="budgeted", health_probe=True,
                            capacity_rps=10.0, duration=6.0),
+    "fabric-mega": dict(good_clients=4, bad_clients=2, thinner_shards=2,
+                        fabric="leaf-spine", leaves=2, spines=2,
+                        cross_traffic_pairs=1, bad_rate=8.0, bad_window=3,
+                        capacity_rps=10.0, duration=6.0),
 }
 
 
