@@ -1,0 +1,34 @@
+"""Checkpointed, out-of-core sweep campaigns.
+
+A *campaign* is a sweep grid executed by worker processes that stream one
+compact JSONL record per finished point to per-worker spool files, with
+periodic checkpoint manifests.  Kill a worker mid-campaign, rerun, and it
+resumes from the last valid spool prefix — only missing points re-execute,
+and the merged output is byte-identical to an uninterrupted run.
+
+* :mod:`repro.campaigns.runner` — :class:`CampaignPlan` (the persisted
+  grid), the spool/checkpoint protocol, and :class:`CampaignRunner`;
+* :mod:`repro.campaigns.store`  — :class:`CampaignStore`, the merge-on-read
+  view (``load``/``query``/``summarise``/``merge``) that never materialises
+  more than one record at a time.
+"""
+
+from repro.campaigns.runner import (
+    CAMPAIGN_FILENAME,
+    CampaignPlan,
+    CampaignRunner,
+    CampaignStatus,
+    WorkerStatus,
+    campaign_status,
+)
+from repro.campaigns.store import CampaignStore
+
+__all__ = [
+    "CAMPAIGN_FILENAME",
+    "CampaignPlan",
+    "CampaignRunner",
+    "CampaignStatus",
+    "WorkerStatus",
+    "campaign_status",
+    "CampaignStore",
+]

@@ -317,6 +317,71 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="write the JSON results store to FILE")
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="checkpointed out-of-core sweeps: run, resume, status, merge",
+        description=(
+            "A campaign is a sweep executed by worker processes that stream "
+            "records to per-worker JSONL spools with checkpoint manifests. "
+            "Kill it mid-run, 'campaign resume' re-executes only the missing "
+            "points, and 'campaign merge' writes a results document "
+            "byte-identical to an uninterrupted 'sweep --out' run."
+        ),
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="initialise a campaign directory and execute every point"
+    )
+    campaign_run.add_argument("--scenario", default="lan-baseline",
+                              help="registry name (see 'speakup-repro scenarios')")
+    campaign_run.add_argument("--set", dest="settings", action="append", default=[],
+                              metavar="KEY=VALUE",
+                              help="scenario factory argument (repeatable)")
+    campaign_run.add_argument("--grid", dest="grids", action="append", default=[],
+                              metavar="PATH=V1,V2,...",
+                              help="sweep a spec field over values (repeatable)")
+    campaign_run.add_argument("--replicates", type=int, default=None,
+                              help="seed replicates per grid point")
+    campaign_run.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                              help="explicit root seeds")
+    campaign_run.add_argument("--dir", dest="directory", required=True,
+                              metavar="DIR", help="campaign directory (created)")
+    campaign_run.add_argument("--jobs", type=int, default=1,
+                              help="concurrent worker processes")
+    campaign_run.add_argument("--workers", type=int, default=None,
+                              help="spool count, fixed at plan time "
+                                   "(default: --jobs); resume never re-shards")
+    campaign_run.add_argument("--checkpoint-every", type=int, default=8,
+                              metavar="N", help="fsync + manifest every N records")
+    campaign_run.add_argument("--fail-after", type=int, default=None, metavar="N",
+                              help="test hook: crash one worker after N records "
+                                   "(torn spool line, exit mid-write)")
+    campaign_run.add_argument("--fail-worker", type=int, default=0,
+                              help="which worker the --fail-after hook crashes")
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="repair torn spools and execute only the missing points"
+    )
+    campaign_resume.add_argument("--dir", dest="directory", required=True,
+                                 metavar="DIR", help="existing campaign directory")
+    campaign_resume.add_argument("--jobs", type=int, default=1,
+                                 help="concurrent worker processes")
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="report per-worker progress without executing anything"
+    )
+    campaign_status_p.add_argument("--dir", dest="directory", required=True,
+                                   metavar="DIR", help="campaign directory")
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge", help="stream-merge the spools into one results document"
+    )
+    campaign_merge.add_argument("--dir", dest="directory", required=True,
+                                metavar="DIR", help="campaign directory")
+    campaign_merge.add_argument("--out", required=True, metavar="FILE",
+                                help="results file (readable by load_results/plot)")
+
     return parser
 
 
@@ -359,7 +424,8 @@ def _parse_pair(entry: str, option: str) -> tuple:
     return key, value
 
 
-def _run_sweep(args: argparse.Namespace) -> int:
+def _build_sweep(args: argparse.Namespace) -> Sweep:
+    """Expand --scenario/--set/--grid/--seeds/--replicates into a Sweep."""
     overrides = {}
     for entry in args.settings:
         key, value = _parse_pair(entry, "--set")
@@ -377,8 +443,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
             seeds = tuple(int(seed) for seed in args.seeds.split(","))
         except ValueError:
             raise ReproError(f"--seeds expects comma-separated integers, got {args.seeds!r}")
-    sweep = Sweep(spec, axes=axes, seeds=seeds, replicates=args.replicates)
+    return Sweep(spec, axes=axes, seeds=seeds, replicates=args.replicates)
 
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    sweep = _build_sweep(args)
+    axes = sweep.axes
     runner = SweepRunner(jobs=args.jobs)
     records = runner.run(sweep)
     if args.out:
@@ -403,6 +473,57 @@ def _run_sweep(args: argparse.Namespace) -> int:
             + (f" -> {args.out}" if args.out else "")
         ),
     ))
+    return 0
+
+
+def _print_campaign_status(status) -> int:
+    """Tabulate a CampaignStatus; exit 0 when complete, 4 when points remain."""
+    rows = [
+        (
+            worker.worker,
+            worker.done,
+            worker.assigned,
+            "torn tail" if worker.torn else ("complete" if worker.complete else "behind"),
+        )
+        for worker in status.workers
+    ]
+    print(format_table(
+        headers=["worker", "done", "assigned", "state"],
+        rows=rows,
+        title=(
+            f"Campaign {status.directory}: {status.done}/{status.points} points"
+            + ("" if status.complete else f" ({status.missing} missing)")
+        ),
+    ))
+    if status.complete:
+        return 0
+    print("campaign: incomplete; run 'campaign resume' to finish it",
+          file=sys.stderr)
+    return 4
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.campaigns import CampaignRunner, CampaignStore, campaign_status
+
+    if args.campaign_command == "run":
+        runner = CampaignRunner(jobs=args.jobs)
+        status = runner.run(
+            _build_sweep(args),
+            args.directory,
+            workers=args.workers,
+            checkpoint_every=args.checkpoint_every,
+            fail_after=args.fail_after,
+            fail_worker=args.fail_worker,
+        )
+        return _print_campaign_status(status)
+    if args.campaign_command == "resume":
+        status = CampaignRunner(jobs=args.jobs).resume(args.directory)
+        return _print_campaign_status(status)
+    if args.campaign_command == "status":
+        return _print_campaign_status(campaign_status(args.directory))
+    # merge
+    written = CampaignStore(args.directory).merge(args.out)
+    print(f"campaign: merged {written} records -> {args.out}")
     return 0
 
 
@@ -485,6 +606,9 @@ def _run_bench(args: argparse.Namespace) -> int:
         )
 
     if args.check:
+        # Measurement-plane gauges: surfaced with the check, never gated.
+        for line in perf.format_gauges(measurements):
+            print(f"bench: gauges: {line}")
         problems = perf.check_regression(
             measurements, baseline, tolerance=tolerance, signals=args.check_signal
         )
@@ -554,6 +678,9 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "campaign":
+        return _run_campaign(args)
 
     if args.command == "bench":
         return _run_bench(args)

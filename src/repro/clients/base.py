@@ -486,13 +486,25 @@ class BaseClient:
         self.outstanding -= 1
         self.stats.served += 1
         self.stats.bytes_paid += request.bytes_paid
-        self.stats.prices.append(request.price_paid)
         payment_time = request.payment_time()
-        if payment_time is not None:
-            self.stats.payment_times.append(payment_time)
         response_time = request.response_time()
-        if response_time is not None:
-            self.stats.response_times.append(response_time)
+        telemetry = getattr(self.deployment, "telemetry", None)
+        if telemetry is None:
+            # Full mode: the historical unbounded per-request lists, kept
+            # byte-identical for every pinned figure/sweep fingerprint.
+            self.stats.prices.append(request.price_paid)
+            if payment_time is not None:
+                self.stats.payment_times.append(payment_time)
+            if response_time is not None:
+                self.stats.response_times.append(response_time)
+        else:
+            telemetry.record_served(
+                self.client_class,
+                self.engine.now,
+                payment_time,
+                response_time,
+                request.price_paid,
+            )
         if self._retry_state:
             self._retry_state.pop(request.request_id, None)
         self._drain_backlog()

@@ -58,6 +58,7 @@ from repro.simnet.network import FluidNetwork
 from repro.simnet.tcp import SlowStartRamp
 from repro.simnet.topology import Topology
 from repro.simnet.trace import Tracer
+from repro.telemetry.spec import TelemetrySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.defenses.base import Defense
@@ -153,6 +154,12 @@ class DeploymentConfig:
     #: to a prober-free deployment; a spec needs ``thinner_shards > 1`` (a
     #: single shard has no fleet median to compare against).
     health_probe: Optional[HealthProbeSpec] = None
+    #: How the run measures itself (see :mod:`repro.telemetry`).  ``None``
+    #: or a spec in ``"full"`` mode keeps the historical per-request lists
+    #: and is byte-identical to every stored result; ``"rollup"`` mode
+    #: bounds the measurement footprint to O(buckets + reservoir) — the
+    #: regime that makes >=500k-client runs fit in memory.
+    telemetry: Optional[TelemetrySpec] = None
     #: Model TCP slow start on payment POSTs (disable for speed in huge sweeps).
     model_slow_start: bool = True
     #: Use the struct-of-arrays vectorized recompute paths (large-component
@@ -250,6 +257,8 @@ class DeploymentConfig:
                 self.health_probe.validate()
             except ThinnerError as error:
                 raise ExperimentError(str(error)) from None
+        if self.telemetry is not None:
+            self.telemetry.validate()
 
 
 class Deployment:
@@ -292,6 +301,29 @@ class Deployment:
             self.engine, topology, tracer=self.tracer, vectorized=self.config.vectorized
         )
         self.slow_start = SlowStartRamp(self.network) if self.config.model_slow_start else None
+
+        #: The rollup telemetry collector, or ``None`` in full mode.  Full
+        #: mode (and an unset spec) is the byte-identity baseline: no
+        #: ``"telemetry"`` streams are created, the client layer keeps its
+        #: per-request lists, and the thinners keep exact
+        #: :class:`~repro.core.pricing.PriceBook` instances.  Rollup mode
+        #: must be wired *before* the thinners are built so they pick up
+        #: the bounded price-book factory through the network hook.
+        self.telemetry = None
+        telemetry_spec = self.config.telemetry
+        if telemetry_spec is not None and telemetry_spec.mode == "rollup":
+            # Imported lazily for the same layering reason as the defenses.
+            from repro.telemetry.collector import StreamingPriceBook, TelemetryCollector
+
+            self.telemetry = TelemetryCollector(
+                telemetry_spec,
+                self.streams.stream("telemetry"),
+                counters=self.network.counters,
+            )
+            price_rng = self.streams.stream("telemetry:prices")
+            self.network.price_book_factory = lambda: StreamingPriceBook(
+                telemetry_spec.reservoir, price_rng
+            )
 
         #: The back-end server(s).  A single-thinner or pooled-fleet
         #: deployment has exactly one; a partitioned fleet has one

@@ -145,7 +145,10 @@ class ThinnerBase:
         self.payment_timeout = payment_timeout
         self.max_contenders = max_contenders
 
-        self.prices = PriceBook()
+        # The deployment can install a bounded price-book factory on the
+        # network (rollup telemetry); None keeps the exact PriceBook.
+        price_book_factory = getattr(network, "price_book_factory", None)
+        self.prices = PriceBook() if price_book_factory is None else price_book_factory()
         self.stats = ThinnerStats()
         #: Shared hot-path instrumentation (same object the bench snapshots).
         self.counters = network.counters

@@ -259,9 +259,10 @@ class AdaptiveThinner:
 
     @property
     def prices(self):
-        from repro.core.pricing import PriceBook
-
-        return PriceBook.merged([self._passthrough.prices, self._engaged.prices])
+        # Type-aware merge: both sides carry the same book class (exact
+        # PriceBook, or StreamingPriceBook under rollup telemetry).
+        books = [self._passthrough.prices, self._engaged.prices]
+        return type(books[0]).merged(books)
 
     @property
     def stage_metrics(self):

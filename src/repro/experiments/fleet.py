@@ -22,18 +22,25 @@ also spend time in request RTTs, POST quiescent gaps, and TCP slow start, so
 they deliver a high fraction — not 100% — of their bandwidth), which is
 exactly the shape Figure "provisioning" of §4.3 sketches: per-front-end
 capacity falls inversely with fleet size while the aggregate stays ``G + B``.
+
+:func:`fleet_provisioning_campaign` is the same experiment executed as a
+checkpointed out-of-core campaign (:mod:`repro.campaigns`): identical rows,
+but killable and resumable, with the records streamed from per-worker
+spools instead of held in memory.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.provisioning import payment_traffic_estimate
+from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentScale
 from repro.metrics.tables import format_table
 from repro.scenarios.registry import build_scenario
-from repro.scenarios.runner import Sweep, SweepRunner
+from repro.scenarios.runner import Sweep, SweepRecord, SweepRunner
 
 #: Fleet sizes the provisioning sweep covers.
 FLEET_SHARD_COUNTS = (1, 2, 4, 8)
@@ -92,6 +99,20 @@ def fleet_provisioning_curve(
     if not shard_counts:
         return []
     runner = runner or SweepRunner()
+    sweep = _provisioning_sweep(
+        scale, shard_counts, shard_policy, admission_mode, paper_capacity
+    )
+    return [_row_from_record(record) for record in runner.run(sweep)]
+
+
+def _provisioning_sweep(
+    scale: ExperimentScale,
+    shard_counts: Sequence[int],
+    shard_policy: str,
+    admission_mode: str,
+    paper_capacity: float,
+) -> Sweep:
+    """The provisioning grid: the fleet-lan mix swept over fleet sizes."""
     total_clients = scale.clients(PAPER_CLIENT_COUNT)
     good = total_clients // 2
     bad = total_clients - good
@@ -108,32 +129,74 @@ def fleet_provisioning_curve(
         duration=scale.duration,
         seed=scale.seed,
     )
-    sweep = Sweep(base, axes={"thinner_shards": tuple(shard_counts)})
+    return Sweep(base, axes={"thinner_shards": tuple(shard_counts)})
 
-    rows: List[FleetProvisioningRow] = []
-    for record in runner.run(sweep):
-        result = record.result
-        shards = record.overrides["thinner_shards"]
-        predicted = payment_traffic_estimate(
-            result.bad_bandwidth_bps, result.good_bandwidth_bps
+
+def _row_from_record(record: SweepRecord) -> FleetProvisioningRow:
+    """One provisioning-curve row from one executed sweep point."""
+    result = record.result
+    shards = int(record.overrides["thinner_shards"])
+    predicted = payment_traffic_estimate(
+        result.bad_bandwidth_bps, result.good_bandwidth_bps
+    )
+    per_shard_bps = [
+        shard.client_bytes_paid * 8.0 / result.duration for shard in result.shards
+    ]
+    observed_total = sum(per_shard_bps)
+    return FleetProvisioningRow(
+        shards=shards,
+        good_bandwidth_bps=result.good_bandwidth_bps,
+        bad_bandwidth_bps=result.bad_bandwidth_bps,
+        predicted_fleet_bps=predicted,
+        predicted_shard_bps=predicted / shards,
+        observed_fleet_bps=observed_total,
+        observed_shard_mean_bps=observed_total / shards,
+        observed_shard_max_bps=max(per_shard_bps) if per_shard_bps else 0.0,
+    )
+
+
+def fleet_provisioning_campaign(
+    scale: ExperimentScale,
+    directory: str,
+    shard_counts: Sequence[int] = FLEET_SHARD_COUNTS,
+    shard_policy: str = "least-loaded",
+    admission_mode: str = "partitioned",
+    paper_capacity: float = 100.0,
+    jobs: int = 1,
+    workers: Optional[int] = None,
+    checkpoint_every: int = 8,
+) -> List[FleetProvisioningRow]:
+    """The same §4.3 curve, executed as a checkpointed campaign.
+
+    The demonstrator for the out-of-core runner: the identical sweep runs
+    through :class:`~repro.campaigns.runner.CampaignRunner` (per-worker
+    JSONL spools in ``directory``), the rows are rebuilt by streaming the
+    spools back through :class:`~repro.campaigns.store.CampaignStore`, and
+    because every point is a pure function of its spec the rows match
+    :func:`fleet_provisioning_curve` exactly.  Calling it again on a
+    half-finished directory resumes instead of starting over.
+    """
+    if not shard_counts:
+        return []
+    from repro.campaigns import CAMPAIGN_FILENAME, CampaignRunner, CampaignStore
+
+    runner = CampaignRunner(jobs=jobs)
+    if os.path.exists(os.path.join(directory, CAMPAIGN_FILENAME)):
+        status = runner.resume(directory)
+    else:
+        sweep = _provisioning_sweep(
+            scale, shard_counts, shard_policy, admission_mode, paper_capacity
         )
-        per_shard_bps = [
-            shard.client_bytes_paid * 8.0 / result.duration for shard in result.shards
-        ]
-        observed_total = sum(per_shard_bps)
-        rows.append(
-            FleetProvisioningRow(
-                shards=shards,
-                good_bandwidth_bps=result.good_bandwidth_bps,
-                bad_bandwidth_bps=result.bad_bandwidth_bps,
-                predicted_fleet_bps=predicted,
-                predicted_shard_bps=predicted / shards,
-                observed_fleet_bps=observed_total,
-                observed_shard_mean_bps=observed_total / shards,
-                observed_shard_max_bps=max(per_shard_bps) if per_shard_bps else 0.0,
-            )
+        status = runner.run(
+            sweep, directory, workers=workers, checkpoint_every=checkpoint_every
         )
-    return rows
+    if not status.complete:
+        raise ExperimentError(
+            f"fleet provisioning campaign in {directory!r} is incomplete "
+            f"({status.done}/{status.points} points)"
+        )
+    store = CampaignStore(directory)
+    return [_row_from_record(record) for record in store.iter_records()]
 
 
 def format_fleet(rows: Sequence[FleetProvisioningRow]) -> str:

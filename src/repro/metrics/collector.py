@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.metrics.summary import Summary, mean, ratio, summarise
+from repro.telemetry.collector import TelemetryMetrics
 
 
 @dataclass
@@ -485,6 +486,10 @@ class RunResult:
     shards: List[ShardMetrics] = field(default_factory=list)
     #: Fault-plan outcome; only set when the run injected faults.
     failover: Optional[FailoverMetrics] = None
+    #: Rollup-mode measurement summary; only set when the run collected
+    #: through the bounded telemetry plane (full-mode results stay
+    #: byte-identical to the historical schema).
+    telemetry: Optional[TelemetryMetrics] = None
 
     # -- the headline numbers ----------------------------------------------------
 
@@ -595,6 +600,8 @@ class RunResult:
         # the pre-fault-layer schema.
         if self.failover is not None:
             payload["failover"] = self.failover.to_dict()
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_dict()
         return payload
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -635,6 +642,11 @@ class RunResult:
                 if data.get("failover") is not None
                 else None
             ),
+            telemetry=(
+                TelemetryMetrics.from_dict(data["telemetry"])
+                if data.get("telemetry") is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -646,6 +658,7 @@ class RunResult:
 def _collect_class(deployment, client_class: str) -> ClassMetrics:
     clients = deployment.clients_of_class(client_class)
     metrics = ClassMetrics(client_class=client_class, clients=len(clients))
+    telemetry = getattr(deployment, "telemetry", None)
     payment_times: List[float] = []
     response_times: List[float] = []
     prices: List[float] = []
@@ -659,12 +672,23 @@ def _collect_class(deployment, client_class: str) -> ClassMetrics:
         metrics.retries_attempted += stats.retries_attempted
         metrics.retries_suppressed += stats.retries_suppressed
         metrics.bytes_paid += client.total_bytes_spent()
-        payment_times.extend(stats.payment_times)
-        response_times.extend(stats.response_times)
-        prices.extend(stats.prices)
-    metrics.payment_time = summarise(payment_times)
-    metrics.response_time = summarise(response_times)
-    metrics.mean_price_bytes = mean(prices)
+        if telemetry is None:
+            payment_times.extend(stats.payment_times)
+            response_times.extend(stats.response_times)
+            prices.extend(stats.prices)
+    if telemetry is not None:
+        # Rollup mode: the bounded collector already folded every served
+        # request; per-client lists stayed empty by construction.
+        payment_summary, response_summary, mean_price = telemetry.class_summaries(
+            client_class
+        )
+        metrics.payment_time = payment_summary
+        metrics.response_time = response_summary
+        metrics.mean_price_bytes = mean_price
+    else:
+        metrics.payment_time = summarise(payment_times)
+        metrics.response_time = summarise(response_times)
+        metrics.mean_price_bytes = mean(prices)
     return metrics
 
 
@@ -722,9 +746,10 @@ def _mean_price_by_class(thinners) -> Dict[str, float]:
     """Mean winning bid per class across every shard's price book."""
     if len(thinners) == 1:
         return thinners[0].prices.average_by_class()
-    from repro.core.pricing import PriceBook
-
-    return PriceBook.merged([t.prices for t in thinners]).average_by_class()
+    # Type-aware merge: a rollup deployment's thinners carry
+    # StreamingPriceBook instances, whose merged() sums exactly.
+    books = [t.prices for t in thinners]
+    return type(books[0]).merged(books).average_by_class()
 
 
 def _collect_shards(deployment) -> List[ShardMetrics]:
@@ -850,4 +875,9 @@ def collect(deployment) -> RunResult:
         bad_bandwidth_bps=bad_bw,
         shards=_collect_shards(deployment),
         failover=_collect_failover(deployment, good, bad),
+        telemetry=(
+            deployment.telemetry.metrics()
+            if getattr(deployment, "telemetry", None) is not None
+            else None
+        ),
     )

@@ -26,12 +26,27 @@ def stddev(values: Sequence[float]) -> float:
     return math.sqrt(sum((value - mu) ** 2 for value in values) / (len(values) - 1))
 
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile (``fraction`` in [0, 1]); 0.0 if empty."""
+def percentile(
+    values: Sequence[float],
+    fraction: float,
+    empty: Optional[float] = 0.0,
+) -> Optional[float]:
+    """Nearest-rank percentile (``fraction`` in [0, 1]).
+
+    Empty-input policy: an empty sample set returns ``empty``, which
+    defaults to ``0.0`` (the historical contract, kept so serialised
+    summaries stay byte-compatible).  Callers that need to distinguish
+    "no samples" from "all samples were zero" — the rollup telemetry
+    sketches feeding p99.9 at scale do — pass ``empty=None`` and get
+    ``None`` back.  Non-empty input always returns an element of
+    ``values``, including for extreme fractions such as 0.999 (p99.9):
+    nearest-rank needs >= 1000 samples before p99.9 can differ from the
+    maximum.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     if not values:
-        return 0.0
+        return empty
     ordered = sorted(values)
     rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
@@ -46,7 +61,14 @@ def confidence_interval(values: Sequence[float], z: float = 1.96) -> float:
 
 @dataclass(frozen=True)
 class Summary:
-    """Mean / deviation / percentiles of one sample set."""
+    """Mean / deviation / percentiles of one sample set.
+
+    ``p999`` (p99.9) is optional: ``None`` on summaries built by the
+    historical full-mode collector, populated by the rollup telemetry
+    path (and by ``summarise(..., extended=True)``).  ``as_dict`` emits
+    the key only when set, so stored results from older runs stay
+    byte-compatible.
+    """
 
     count: int
     mean: float
@@ -56,9 +78,10 @@ class Summary:
     p50: float
     p90: float
     p99: float
+    p999: Optional[float] = None
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "count": self.count,
             "mean": self.mean,
             "stddev": self.stddev,
@@ -68,10 +91,14 @@ class Summary:
             "p90": self.p90,
             "p99": self.p99,
         }
+        if self.p999 is not None:
+            data["p999"] = self.p999
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Summary":
         """Rebuild a summary serialised by :meth:`as_dict`."""
+        p999 = data.get("p999")
         return cls(
             count=int(data.get("count", 0)),
             mean=float(data.get("mean", 0.0)),
@@ -81,13 +108,19 @@ class Summary:
             p50=float(data.get("p50", 0.0)),
             p90=float(data.get("p90", 0.0)),
             p99=float(data.get("p99", 0.0)),
+            p999=None if p999 is None else float(p999),
         )
 
 
-def summarise(values: Sequence[float]) -> Summary:
-    """Full summary of a sample set (empty sets produce all-zero summaries)."""
+def summarise(values: Sequence[float], extended: bool = False) -> Summary:
+    """Full summary of a sample set (empty sets produce all-zero summaries).
+
+    ``extended=True`` also fills the tail percentile ``p999``; the
+    default leaves it ``None`` so existing serialised output is
+    unchanged.
+    """
     if not values:
-        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, p999=0.0 if extended else None)
     return Summary(
         count=len(values),
         mean=mean(values),
@@ -97,6 +130,7 @@ def summarise(values: Sequence[float]) -> Summary:
         p50=percentile(values, 0.50),
         p90=percentile(values, 0.90),
         p99=percentile(values, 0.99),
+        p999=percentile(values, 0.999) if extended else None,
     )
 
 

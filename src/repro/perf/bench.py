@@ -10,11 +10,13 @@ shard kill/heal pulse through the fault-injection layer),
 ``fleet-brownout`` (a gray-failure lossy pulse with budgeted client
 retries and the health prober ejecting the faulted shard),
 ``adaptive-pulse`` (the attack-triggered engagement controller switching
-speak-up on and off around a pulse), and ``soa-mega`` (≥200k clients
+speak-up on and off around a pulse), ``soa-mega`` (≥200k clients
 driving one huge shared component through the struct-of-arrays vectorized
-allocator path) — and measures engine throughput (events/second)
+allocator path), and ``rollup-mega`` (≥500k clients recording through the
+streaming telemetry plane, whose collector footprint must stay
+O(buckets + reservoir)) — and measures engine throughput (events/second)
 plus the network's hot-path counters
-(:class:`repro.perf.counters.SimCounters`).
+(:class:`repro.perf.counters.SimCounters`) and the process peak RSS.
 
 Results accumulate in ``BENCH_speakup.json`` at the repository root: every
 ``speakup-repro bench`` appends one dated entry, so the file records the
@@ -32,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -190,6 +193,17 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         ),
     ),
     BenchCase(
+        name="rollup-mega",
+        scenario="rollup-mega",
+        args=dict(),
+        quick_args=dict(
+            good_clients=19000,
+            bad_clients=1000,
+            capacity_rps=400.0,
+            duration=0.05,
+        ),
+    ),
+    BenchCase(
         name="fabric-mega",
         scenario="fabric-mega",
         # The factory's 17k-client default couples most of the population
@@ -233,6 +247,11 @@ class BenchMeasurement:
     #: (not just speed) shows up in the bench file too.
     requests_served: int
     good_allocation: float
+    #: Process peak RSS after the run, in kilobytes (0 where the
+    #: ``resource`` module is unavailable).  Cumulative across the suite —
+    #: the high-water mark never goes down — so only the *growth* a case
+    #: causes is attributable to it.  Informational, never gated.
+    peak_rss_kb: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -248,7 +267,21 @@ class BenchMeasurement:
             "counters": dict(self.counters),
             "requests_served": self.requests_served,
             "good_allocation": self.good_allocation,
+            "peak_rss_kb": self.peak_rss_kb,
         }
+
+
+def peak_rss_kb() -> int:
+    """The process's peak RSS in kilobytes, 0 where unsupported."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        return int(usage // 1024)
+    return int(usage)
 
 
 def run_case(case: BenchCase, quick: bool = False) -> BenchMeasurement:
@@ -277,6 +310,7 @@ def run_case(case: BenchCase, quick: bool = False) -> BenchMeasurement:
         counters=deployment.network.counters.snapshot(),
         requests_served=result.total_served,
         good_allocation=result.good_allocation,
+        peak_rss_kb=peak_rss_kb(),
     )
 
 
@@ -450,6 +484,23 @@ def check_regression(
                     f"{baseline.get('date', '?')}, tolerance {tolerance:.0%})"
                 )
     return problems
+
+
+def format_gauges(measurements: Sequence[BenchMeasurement]) -> List[str]:
+    """The measurement-plane gauge lines ``bench --check`` prints.
+
+    ``peak_live_events`` and ``records_emitted`` are machine-independent
+    (the simulator is deterministic per pinned config); ``peak_rss_kb`` is
+    not.  All three are informational — printed, stored, never gated.
+    """
+    lines = []
+    for m in measurements:
+        lines.append(
+            f"{m.case}: peak_live_events={m.counters.get('peak_live_events', 0)} "
+            f"records_emitted={m.counters.get('records_emitted', 0)} "
+            f"peak_rss_kb={m.peak_rss_kb}"
+        )
+    return lines
 
 
 def format_measurements(measurements: Sequence[BenchMeasurement]) -> List[Tuple]:

@@ -36,6 +36,16 @@ The composable admission-policy layer adds three more:
   :class:`~repro.metrics.collector.StageMetrics`);
 * ``engagement_switches`` — adaptive-defense transitions (engage +
   disengage events) across the run; zero for static policies.
+
+The measurement plane adds two gauges (machine-independent, surfaced in
+``bench --check`` output but not gated):
+
+* ``peak_live_events``  — high-water mark of live (non-cancelled) events
+  in the engine queue, sampled at every rate flush; the simulator's own
+  memory pressure, independent of wall clock;
+* ``records_emitted``   — telemetry samples routed into the rollup
+  collector (zero in full mode, where per-request lists are kept
+  instead).
 """
 
 from __future__ import annotations
@@ -59,6 +69,8 @@ class SimCounters:
         "filter_screened",
         "filter_rejected",
         "engagement_switches",
+        "peak_live_events",
+        "records_emitted",
     )
 
     def __init__(self) -> None:
@@ -78,6 +90,8 @@ class SimCounters:
         self.filter_screened = 0
         self.filter_rejected = 0
         self.engagement_switches = 0
+        self.peak_live_events = 0
+        self.records_emitted = 0
 
     def snapshot(self) -> Dict[str, int]:
         """The counters as a plain dict (JSON-ready)."""

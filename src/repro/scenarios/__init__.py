@@ -34,6 +34,8 @@ from repro.scenarios.runner import (
     load_results,
     run_spec,
     save_results,
+    validate_record,
+    validate_results_document,
 )
 
 __all__ = [
@@ -56,4 +58,6 @@ __all__ = [
     "load_results",
     "run_spec",
     "save_results",
+    "validate_record",
+    "validate_results_document",
 ]

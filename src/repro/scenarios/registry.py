@@ -19,9 +19,11 @@ policies and health-driven ejection), the datacenter-fabric scenario
 ``fabric-mega`` (the fleet on a leaf-spine or fat-tree fabric with an
 oversubscribed core, cross-traffic, and any registered dispatch strategy),
 and the perf-harness workloads ``stress-mega`` (allocator-bound),
-``thinner-mega`` (auction-bound, ≥50k clients) and ``soa-mega``
+``thinner-mega`` (auction-bound, ≥50k clients), ``soa-mega``
 (array-bound, ≥200k clients through the struct-of-arrays vectorized
-allocator path).
+allocator path) and ``rollup-mega`` (≥500k clients under streaming
+rollup telemetry, pinning the collector's memory footprint to
+O(buckets + reservoir) instead of O(requests)).
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from repro.core.routing import RouterSpec
 from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.errors import ExperimentError
 from repro.simnet.topology import DEFAULT_THINNER_BANDWIDTH
+from repro.telemetry.spec import TelemetrySpec
 from repro.scenarios.spec import (
     ArrivalSpec,
     GroupSpec,
@@ -1334,5 +1337,73 @@ def soa_mega(
         capacity_rps=capacity_rps,
         defense=defense,
         duration=duration,
+        seed=seed,
+    )
+
+
+@register("rollup-mega")
+def rollup_mega(
+    good_clients: int = 499000,
+    bad_clients: int = 1000,
+    capacity_rps: float = 1000.0,
+    defense: str = "speakup",
+    good_rate: float = 0.02,
+    bad_rate: float = 40.0,
+    bad_window: int = 1,
+    client_bandwidth_bps: float = DEFAULT_CLIENT_BANDWIDTH,
+    thinner_bandwidth_bps: float = 1000 * MBIT,
+    duration: float = 0.05,
+    telemetry_mode: str = "rollup",
+    reservoir: int = 512,
+    bucket_s: float = 0.01,
+    max_buckets: int = 4096,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Perf-harness telemetry workload: ≥500k clients under rollup collectors.
+
+    Not a paper figure — the ``repro.cli bench`` *measurement-plane* mega
+    scale.  Half a million clients on one switch reuse the ``soa-mega``
+    traffic shape (a trickling good cohort over a saturated payment sink),
+    but the run records through the streaming telemetry plane
+    (:mod:`repro.telemetry`): reservoir samplers and time-bucketed rollups
+    instead of unbounded per-request lists, so collector memory is
+    O(buckets + reservoir) while the request count grows with the
+    population.  ``telemetry_mode="full"`` flips the same population back
+    to the historical exact collector, which is how the bench's peak-RSS
+    and ``records_emitted`` gauges demonstrate the footprint difference.
+    """
+    groups: Tuple[GroupSpec, ...] = ()
+    if good_clients:
+        groups += (
+            GroupSpec(
+                count=good_clients,
+                client_class="good",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=good_rate,
+            ),
+        )
+    if bad_clients:
+        groups += (
+            GroupSpec(
+                count=bad_clients,
+                client_class="bad",
+                bandwidth_bps=client_bandwidth_bps,
+                rate_rps=bad_rate,
+                window=bad_window,
+            ),
+        )
+    return ScenarioSpec(
+        name="rollup-mega",
+        topology=TopologySpec(kind="lan", thinner_bandwidth_bps=thinner_bandwidth_bps),
+        groups=groups,
+        capacity_rps=capacity_rps,
+        defense=defense,
+        duration=duration,
+        telemetry=TelemetrySpec(
+            mode=telemetry_mode,
+            reservoir=reservoir,
+            bucket_s=bucket_s,
+            max_buckets=max_buckets,
+        ),
         seed=seed,
     )

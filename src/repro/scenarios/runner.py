@@ -266,14 +266,75 @@ def save_results(records: Sequence[SweepRecord], path: str) -> None:
         handle.write("\n")
 
 
-def load_results(path: str) -> List[SweepRecord]:
-    """Read sweep records written by :func:`save_results`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
+def validate_record(entry: Any, source: str, position: Optional[int] = None) -> None:
+    """Check one record's shape before :meth:`SweepRecord.from_dict` sees it.
+
+    Raises :class:`~repro.errors.ExperimentError` (a one-line CLI error)
+    instead of letting a ``KeyError``/``TypeError`` traceback escape.  Shared
+    by :func:`load_results` and the campaign store's spool reader.
+    """
+    where = f"record {position}" if position is not None else "record"
+    if not isinstance(entry, dict):
+        raise ExperimentError(
+            f"{where} in {source!r} must be an object, got {type(entry).__name__}"
+        )
+    for key in ("index", "spec", "result"):
+        if key not in entry:
+            raise ExperimentError(f"{where} in {source!r} is missing the {key!r} key")
+    if not isinstance(entry["spec"], dict) or not isinstance(entry["result"], dict):
+        raise ExperimentError(
+            f"{where} in {source!r} has a malformed spec/result (objects expected)"
+        )
+
+
+def validate_results_document(document: Any, source: str) -> List[Dict[str, Any]]:
+    """Check a results document's schema, returning its raw record dicts.
+
+    Verifies the version key and each record's shape; every failure is an
+    :class:`~repro.errors.ExperimentError` so the CLI exits with one line
+    rather than a traceback.
+    """
+    if not isinstance(document, dict):
+        raise ExperimentError(
+            f"results file {source!r} must hold a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    if "version" not in document:
+        raise ExperimentError(
+            f"results file {source!r} has no 'version' key (not a results document?)"
+        )
     version = document.get("version")
     if version != RESULTS_VERSION:
         raise ExperimentError(
-            f"unsupported results version {version!r} in {path!r} "
+            f"unsupported results version {version!r} in {source!r} "
             f"(expected {RESULTS_VERSION})"
         )
-    return [SweepRecord.from_dict(entry) for entry in document.get("records", [])]
+    records = document.get("records", [])
+    if not isinstance(records, list):
+        raise ExperimentError(f"results file {source!r}: 'records' must be a list")
+    for position, entry in enumerate(records):
+        validate_record(entry, source, position)
+    return records
+
+
+def load_results(path: str) -> List[SweepRecord]:
+    """Read sweep records written by :func:`save_results`.
+
+    Truncated/invalid JSON and schema mismatches raise
+    :class:`~repro.errors.ExperimentError` (one line through the CLI), never
+    a raw traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ExperimentError(
+            f"results file {path!r} is truncated or not valid JSON: {error}"
+        ) from None
+    records = validate_results_document(document, path)
+    try:
+        return [SweepRecord.from_dict(entry) for entry in records]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ExperimentError(
+            f"results file {path!r} has a malformed record: {error}"
+        ) from None

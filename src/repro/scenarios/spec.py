@@ -29,6 +29,7 @@ from repro.core.routing import RouterSpec
 from repro.defenses.spec import DefenseSpec, normalise_defense
 from repro.faults.spec import FaultPlan
 from repro.metrics.collector import RunResult
+from repro.telemetry.spec import TelemetrySpec
 from repro.simnet.topology import (
     DEFAULT_LAN_DELAY,
     DEFAULT_THINNER_BANDWIDTH,
@@ -380,6 +381,11 @@ class ScenarioSpec:
     #: ``None`` builds no prober and stays byte-identical to a spec without
     #: the field.  Sweepable (``"health_probe.eject_fraction"``).
     health_probe: Optional[HealthProbeSpec] = None
+    #: How the run measures itself (see :mod:`repro.telemetry`).  ``None``
+    #: keeps the historical full collector byte for byte; ``"rollup"`` mode
+    #: bounds the measurement footprint to O(buckets + reservoir) — the
+    #: regime for >=500k-client runs.  Sweepable (``"telemetry.reservoir"``).
+    telemetry: Optional[TelemetrySpec] = None
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
 
     # -- validation -------------------------------------------------------------
@@ -447,6 +453,8 @@ class ScenarioSpec:
                     "health_probe needs thinner_shards > 1 (ejection compares "
                     "each shard against the fleet median)"
                 )
+        if self.telemetry is not None:
+            self.telemetry.validate()
         if self.total_clients() == 0 and self.topology.kind != "dumbbell":
             raise ExperimentError("scenario needs at least one client")
         if self.topology.kind != "lan" and any(g.extra_delay_s for g in self.groups):
@@ -508,6 +516,7 @@ class ScenarioSpec:
             admission_mode=self.admission_mode,
             fault_plan=self.fault_plan,
             health_probe=self.health_probe,
+            telemetry=self.telemetry,
             **dict(self.config_overrides),
         )
 
@@ -647,6 +656,8 @@ class ScenarioSpec:
             payload["health_probe"] = self.health_probe.to_dict()
         if self.router_spec is not None:
             payload["router_spec"] = self.router_spec.to_dict()
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_dict()
         return payload
 
     def to_json(self, **dumps_kwargs) -> str:
@@ -680,6 +691,9 @@ class ScenarioSpec:
         router_spec = payload.get("router_spec")
         if isinstance(router_spec, dict):
             payload["router_spec"] = RouterSpec.from_dict(router_spec)
+        telemetry = payload.get("telemetry")
+        if isinstance(telemetry, dict):
+            payload["telemetry"] = TelemetrySpec.from_dict(telemetry)
         payload["config_overrides"] = freeze_overrides(
             payload.get("config_overrides", ())
         )

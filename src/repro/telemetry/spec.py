@@ -1,0 +1,115 @@
+"""Declarative telemetry configuration.
+
+:class:`TelemetrySpec` rides on :class:`~repro.scenarios.spec.ScenarioSpec`
+exactly like the other optional sub-specs (``fault_plan``, ``retry_policy``,
+``router_spec``): frozen, JSON round-trippable, sweepable through
+``with_value`` paths such as ``telemetry.reservoir``, and omitted from
+serialised specs when unset so every stored results file from earlier PRs
+stays byte-compatible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ExperimentError
+
+TELEMETRY_MODES = ("full", "rollup")
+
+#: Bounded per-bucket state: count, sum, min, max plus two P² sketches of
+#: five markers each (height + position + desired-position + increment per
+#: marker, and the sketch's own count).  Used by ``footprint_budget`` so the
+#: budget is an audited constant, not a hand-wave.
+BUCKET_SLOTS = 4 + 2 * (4 * 5 + 1)
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """How a run measures itself.
+
+    ``mode``
+        ``"full"`` keeps the historical unbounded per-request lists and is
+        byte-identical to a run with no telemetry spec at all; ``"rollup"``
+        switches every per-request list to bounded streaming state.
+    ``reservoir``
+        Capacity of each fixed-size reservoir sampler (Algorithm R, seeded
+        off the dedicated ``"telemetry"`` RNG stream).  With ``count <=
+        reservoir`` the reservoir holds every sample, so small runs report
+        exact percentiles.
+    ``bucket_s``
+        Width of the time-bucketed rollup aggregates, in simulated seconds.
+    ``max_buckets``
+        Hard cap on buckets per series; samples past the cap fold into the
+        last bucket so a runaway duration cannot grow memory.
+    """
+
+    mode: str = "rollup"
+    reservoir: int = 512
+    bucket_s: float = 1.0
+    max_buckets: int = 4096
+
+    def validate(self) -> None:
+        if self.mode not in TELEMETRY_MODES:
+            raise ExperimentError(
+                f"telemetry mode must be one of {TELEMETRY_MODES}, got {self.mode!r}"
+            )
+        if self.reservoir < 1:
+            raise ExperimentError(f"telemetry reservoir must be >= 1, got {self.reservoir}")
+        if self.bucket_s <= 0:
+            raise ExperimentError(f"telemetry bucket_s must be > 0, got {self.bucket_s}")
+        if self.max_buckets < 1:
+            raise ExperimentError(f"telemetry max_buckets must be >= 1, got {self.max_buckets}")
+
+    def buckets_for(self, duration: float) -> int:
+        """How many buckets a ``duration``-second run can populate."""
+        if duration <= 0:
+            return 1
+        return min(self.max_buckets, int(math.ceil(duration / self.bucket_s)) + 1)
+
+    def footprint_budget(self, duration: float, shards: int = 1) -> int:
+        """Upper bound on retained measurement slots for one run.
+
+        The budget is O(buckets + reservoir) and independent of request
+        count: per class (good/bad) the collector keeps three stream
+        accumulators (payment, response, price), each a reservoir plus
+        O(1) moments, plus two bucketed series; each thinner shard keeps
+        one streaming price book bounded by a reservoir.  Tests assert
+        ``collector.footprint_records() <= spec.footprint_budget(...)``.
+        """
+        classes = 2
+        streams_per_class = 3
+        accumulator_slots = classes * streams_per_class * (self.reservoir + 8)
+        bucket_series = classes * 2
+        bucket_slots = bucket_series * self.buckets_for(duration) * BUCKET_SLOTS
+        price_book_slots = max(1, shards) * (self.reservoir + 16)
+        return accumulator_slots + bucket_slots + price_book_slots
+
+    def with_mode(self, mode: str) -> "TelemetrySpec":
+        return replace(self, mode=mode)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "reservoir": self.reservoir,
+            "bucket_s": self.bucket_s,
+            "max_buckets": self.max_buckets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetrySpec":
+        if not isinstance(data, dict):
+            raise ExperimentError(f"telemetry spec must be an object, got {type(data).__name__}")
+        known = {"mode", "reservoir", "bucket_s", "max_buckets"}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(f"unknown telemetry spec keys: {sorted(unknown)}")
+        spec = cls(
+            mode=str(data.get("mode", "rollup")),
+            reservoir=int(data.get("reservoir", 512)),
+            bucket_s=float(data.get("bucket_s", 1.0)),
+            max_buckets=int(data.get("max_buckets", 4096)),
+        )
+        spec.validate()
+        return spec

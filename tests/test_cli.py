@@ -139,6 +139,48 @@ def test_sweep_command_runs_grid_and_writes_results(tmp_path, capsys):
     assert {record.spec.defense for record in records} == {"speakup", "none"}
 
 
+def test_campaign_cli_run_kill_resume_merge(tmp_path, capsys):
+    """The §11 tutorial loop end to end: run with a forced worker crash
+    (exit 4), status reports the torn spool, resume completes, and the
+    merged document matches a plain `sweep --out` byte for byte."""
+    directory = tmp_path / "campaign"
+    common = [
+        "--scenario", "lan-baseline",
+        "--set", "good_clients=2", "--set", "bad_clients=2",
+        "--set", "capacity_rps=10", "--set", "duration=2",
+        "--grid", "capacity_rps=5,10",
+        "--replicates", "2",
+    ]
+    assert main([
+        "campaign", "run", *common, "--dir", str(directory),
+        "--jobs", "2", "--workers", "2", "--checkpoint-every", "1",
+        "--fail-after", "1", "--fail-worker", "0",
+    ]) == 4
+    captured = capsys.readouterr()
+    assert "torn tail" in captured.out
+    assert "campaign resume" in captured.err
+
+    assert main(["campaign", "status", "--dir", str(directory)]) == 4
+    capsys.readouterr()
+    assert main(["campaign", "resume", "--dir", str(directory), "--jobs", "2"]) == 0
+    assert main(["campaign", "status", "--dir", str(directory)]) == 0
+    capsys.readouterr()
+
+    merged = tmp_path / "merged.json"
+    assert main(["campaign", "merge", "--dir", str(directory),
+                 "--out", str(merged)]) == 0
+    assert "merged 4 records" in capsys.readouterr().out
+
+    reference = tmp_path / "reference.json"
+    assert main(["sweep", *common, "--out", str(reference)]) == 0
+    assert merged.read_bytes() == reference.read_bytes()
+
+
+def test_campaign_cli_rejects_bad_directories(tmp_path, capsys):
+    assert main(["campaign", "status", "--dir", str(tmp_path / "nope")]) == 2
+    assert "not a campaign directory" in capsys.readouterr().err
+
+
 def test_bad_numeric_arguments_exit_cleanly(capsys):
     exit_code = main(["demo", "--good", "2", "--bad", "2", "--duration", "-3"])
     assert exit_code == 2

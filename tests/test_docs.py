@@ -104,8 +104,19 @@ def test_tutorial_contains_the_promised_walkthrough():
     "argv", TUTORIAL_COMMANDS, ids=[" ".join(c[:2]) for c in TUTORIAL_COMMANDS]
 )
 def test_tutorial_command_runs(argv, capsys):
-    """Every CLI command shown in the tutorial exits 0."""
-    assert main(argv) == 0
+    """Every CLI command shown in the tutorial exits 0 — except the §11
+    campaign walkthrough, whose crash-rehearsal commands document exit
+    code 4 (incomplete campaign, resume to finish)."""
+    allowed = {0}
+    if argv and argv[0] == "campaign":
+        allowed = {0, 4}
+        if argv[1] == "run" and "--dir" in argv:
+            # The walkthrough starts from scratch; `campaign run` refuses
+            # to clobber the directory a previous suite run left behind.
+            import shutil
+
+            shutil.rmtree(argv[argv.index("--dir") + 1], ignore_errors=True)
+    assert main(argv) in allowed
     assert capsys.readouterr().out  # every tutorial command prints something
 
 

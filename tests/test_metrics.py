@@ -50,6 +50,36 @@ def test_summarise_fields():
     assert empty.count == 0 and empty.mean == 0.0
 
 
+def test_percentile_empty_input_policy():
+    # Historical contract: empty input yields 0.0 by default ...
+    assert percentile([], 0.999) == 0.0
+    # ... and callers that must distinguish "no samples" pass empty=None.
+    assert percentile([], 0.999, empty=None) is None
+    assert percentile([], 0.5, empty=-1.0) == -1.0
+    # Non-empty input ignores the empty policy entirely.
+    assert percentile([7.0], 0.5, empty=None) == 7.0
+
+
+def test_percentile_p999_needs_a_thousand_samples_to_leave_the_max():
+    values = [float(i) for i in range(100)]
+    # Below 1000 samples nearest-rank p99.9 is pinned to the maximum.
+    assert percentile(values, 0.999) == 99.0
+    big = [float(i) for i in range(2000)]
+    assert percentile(big, 0.999) == 1997.0  # ceil(0.999*2000)-1
+
+
+def test_summarise_extended_fills_p999():
+    summary = summarise([1.0, 2.0, 3.0])
+    assert summary.p999 is None
+    assert "p999" not in summary.as_dict()
+    extended = summarise([1.0, 2.0, 3.0], extended=True)
+    assert extended.p999 == 3.0
+    assert extended.as_dict()["p999"] == 3.0
+    round_tripped = type(extended).from_dict(extended.as_dict())
+    assert round_tripped == extended
+    assert summarise([], extended=True).p999 == 0.0
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
 def test_percentiles_bracket_the_data(values):

@@ -90,7 +90,7 @@ def test_pinned_suite_shape():
     assert names == [
         "lan-small", "tiers-medium", "stress-mega", "thinner-mega", "fleet-mega",
         "fleet-failover", "fleet-brownout", "adaptive-pulse", "soa-mega",
-        "fabric-mega",
+        "rollup-mega", "fabric-mega",
     ]
     assert BENCH_CASES[2].scenario == "stress-mega"
     assert BENCH_CASES[3].scenario == "thinner-mega"
@@ -99,7 +99,8 @@ def test_pinned_suite_shape():
     assert BENCH_CASES[6].scenario == "fleet-brownout"
     assert BENCH_CASES[7].scenario == "adaptive-pulse"
     assert BENCH_CASES[8].scenario == "soa-mega"
-    assert BENCH_CASES[9].scenario == "fabric-mega"
+    assert BENCH_CASES[9].scenario == "rollup-mega"
+    assert BENCH_CASES[10].scenario == "fabric-mega"
 
 
 def test_run_case_measures_and_fingerprints():

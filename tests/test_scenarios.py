@@ -51,6 +51,9 @@ SMALL_SCENARIO_KWARGS = {
     "soa-mega": dict(good_clients=3, bad_clients=3, good_rate=2.0,
                      bad_rate=8.0, bad_window=2, capacity_rps=10.0,
                      duration=6.0),
+    "rollup-mega": dict(good_clients=3, bad_clients=3, good_rate=2.0,
+                        bad_rate=8.0, bad_window=2, capacity_rps=10.0,
+                        reservoir=64, bucket_s=0.5, duration=6.0),
     "fleet-brownout": dict(good_clients=3, bad_clients=3, thinner_shards=2,
                            fault="stall", fault_shard=1, start_at_s=2.0,
                            end_at_s=4.0, retry="budgeted", health_probe=True,
